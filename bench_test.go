@@ -1,0 +1,483 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation section, plus ablations for the design choices DESIGN.md calls
+// out. EXPERIMENTS.md records paper-versus-measured for each.
+//
+// Default problem sizes are scaled down so `go test -bench=.` completes in
+// minutes; set COSMOFLOW_FULL=1 to run Table I at the paper's full 128³
+// size (minutes per operator on a laptop).
+package repro
+
+import (
+	"math/rand"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/cosmo"
+	"repro/internal/hpcsim"
+	"repro/internal/iopipe"
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/parallel"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+	"repro/internal/tfrecord"
+	"repro/internal/train"
+)
+
+// tableIDim returns the Table-I input size: 32³ scaled (default) or the
+// paper's 128³ with COSMOFLOW_FULL=1.
+func tableIDim() int {
+	if os.Getenv("COSMOFLOW_FULL") != "" {
+		return 128
+	}
+	return 32
+}
+
+// BenchmarkTableI_ConvLayers times each convolution layer's forward and
+// backward operators separately, reporting Gflop/s — the Table-I report.
+// The paper's relative shape should hold: conv2 dominates, the deep small
+// layers are cheap, and backward costs roughly twice forward.
+func BenchmarkTableI_ConvLayers(b *testing.B) {
+	dim := tableIDim()
+	pool := parallel.NewPool(0)
+	defer pool.Close()
+	net, err := nn.BuildCosmoFlow(nn.TopologyConfig{
+		InputDim: dim, BaseChannels: 16, Seed: 1, Pool: pool,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	shape := net.InputShape()
+	for _, layer := range net.Layers {
+		outShape := layer.OutputShape(shape)
+		conv, ok := layer.(*nn.Conv3D)
+		if !ok {
+			shape = outShape
+			continue
+		}
+		x := tensor.New(shape...)
+		x.RandNormal(rng, 0, 1)
+		dy := tensor.New(outShape...)
+		dy.RandNormal(rng, 0, 1)
+		inShape := shape.Clone()
+
+		b.Run(conv.Name()+"/fwd", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				conv.Forward(x)
+			}
+			b.ReportMetric(float64(conv.FwdFLOPs(inShape))/1e9/b.Elapsed().Seconds()*float64(b.N), "Gflop/s")
+		})
+		b.Run(conv.Name()+"/bwd", func(b *testing.B) {
+			conv.Forward(x) // ensure cached input
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				conv.Backward(dy)
+			}
+			b.ReportMetric(float64(conv.BwdFLOPs(inShape))/1e9/b.Elapsed().Seconds()*float64(b.N), "Gflop/s")
+		})
+		shape = outShape
+	}
+}
+
+// BenchmarkFig2_TopologyFLOPs reports the paper-size network's parameter
+// count, weight bytes, and per-sample FLOPs — the §V-A budgets (paper:
+// ~7.07M parameters, 28.15 MB, 69.33 Gflop).
+func BenchmarkFig2_TopologyFLOPs(b *testing.B) {
+	var params, bytes int
+	var fwd, bwd int64
+	for i := 0; i < b.N; i++ {
+		net, err := nn.BuildCosmoFlow(nn.PaperTopology())
+		if err != nil {
+			b.Fatal(err)
+		}
+		params = net.ParamCount()
+		bytes = net.ParamBytes()
+		fwd, bwd = net.TotalFLOPs()
+	}
+	b.ReportMetric(float64(params)/1e6, "Mparams")
+	b.ReportMetric(float64(bytes)/1e6, "MB-weights")
+	b.ReportMetric(float64(fwd+bwd)/1e9, "Gflop/sample")
+}
+
+// BenchmarkFig3_TimeBreakdown runs profiled training steps and reports the
+// share of time in each Figure-3 stage. The paper's profile is dominated by
+// 3D convolutions.
+func BenchmarkFig3_TimeBreakdown(b *testing.B) {
+	samples := benchSamples(16, 16, 31)
+	var prof *train.Profile
+	for i := 0; i < b.N; i++ {
+		res, err := train.Run(train.Config{
+			Ranks: 1, Epochs: 1,
+			Topology: nn.TopologyConfig{InputDim: 16, BaseChannels: 4, Seed: 1},
+			Optim:    optim.Config{},
+			Profile:  true,
+			Seed:     3,
+		}, samples, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prof = res.Profile
+	}
+	labels := map[train.Category]string{
+		train.CatConv:      "%conv",
+		train.CatNonConv:   "%nonconv",
+		train.CatComms:     "%comms",
+		train.CatOptimizer: "%optim",
+		train.CatIO:        "%io",
+	}
+	for cat, label := range labels {
+		b.ReportMetric(100*prof.Fraction(cat), label)
+	}
+}
+
+// BenchmarkFig4_ScalingCori regenerates the Cori curves of Figure 4 from
+// the calibrated model and reports the headline efficiencies.
+func BenchmarkFig4_ScalingCori(b *testing.B) {
+	var effBB8192, effL1024, pflops float64
+	for i := 0; i < b.N; i++ {
+		bb := hpcsim.Simulate(hpcsim.Cori(), hpcsim.CoriDataWarp(), 8192, 8192*20)
+		lu := hpcsim.Simulate(hpcsim.Cori(), hpcsim.CoriLustre(), 1024, 1024*20)
+		effBB8192 = bb.Efficiency
+		effL1024 = lu.Efficiency
+		pflops = bb.AggregateFlops / 1e15
+	}
+	b.ReportMetric(100*effBB8192, "%eff-BB-8192(paper:77)")
+	b.ReportMetric(100*effL1024, "%eff-Lustre-1024(paper:<58)")
+	b.ReportMetric(pflops, "Pflop/s(paper:3.5)")
+}
+
+// BenchmarkFig4_ScalingPizDaint reports the Piz Daint Lustre efficiency at
+// 512 nodes (paper: 44%).
+func BenchmarkFig4_ScalingPizDaint(b *testing.B) {
+	var eff float64
+	for i := 0; i < b.N; i++ {
+		eff = hpcsim.Simulate(hpcsim.PizDaint(), hpcsim.PizDaintLustre(), 512, 512*20).Efficiency
+	}
+	b.ReportMetric(100*eff, "%eff-512(paper:44)")
+}
+
+// BenchmarkFig4_CommBandwidth measures the real in-process ring allreduce
+// on a gradient-sized buffer across 4 ranks and reports per-rank
+// throughput — the quantity the paper estimates at 1.7 GB/s/node (§VI-B).
+func BenchmarkFig4_CommBandwidth(b *testing.B) {
+	const n = 4
+	const elems = 1 << 20 // 4 MB
+	w, err := comm.NewWorld(n, comm.WithHelpers(4))
+	if err != nil {
+		b.Fatal(err)
+	}
+	bufs := make([][]float32, n)
+	for r := range bufs {
+		bufs[r] = make([]float32, elems)
+	}
+	b.SetBytes(4 * elems)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for _, c := range w.Comms() {
+			wg.Add(1)
+			go func(c *comm.Comm) {
+				defer wg.Done()
+				c.AllReduceSum(bufs[c.Rank()])
+			}(c)
+		}
+		wg.Wait()
+	}
+}
+
+// BenchmarkFig5_ConvergenceVsScale trains the same data at two rank counts
+// and reports final losses: larger global batches (more ranks) converge
+// more slowly per epoch, the Figure-5 effect.
+func BenchmarkFig5_ConvergenceVsScale(b *testing.B) {
+	samples := benchSamples(32, 8, 41)
+	for _, ranks := range []int{1, 8} {
+		b.Run(map[int]string{1: "ranks1", 8: "ranks8"}[ranks], func(b *testing.B) {
+			var loss float64
+			for i := 0; i < b.N; i++ {
+				res, err := train.Run(train.Config{
+					Ranks: ranks, Epochs: 3,
+					Topology: nn.TopologyConfig{InputDim: 8, BaseChannels: 2, Seed: 1},
+					Optim:    optim.Config{},
+					Seed:     5,
+				}, samples, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				loss = res.FinalTrainLoss()
+			}
+			b.ReportMetric(loss, "final-loss")
+		})
+	}
+}
+
+// BenchmarkFig6_ParameterEstimation runs the end-to-end physics pipeline —
+// simulate, train, estimate — and reports per-parameter relative errors
+// (§VII-A; paper: 0.0022/0.0094/0.0096 converged at full scale).
+func BenchmarkFig6_ParameterEstimation(b *testing.B) {
+	ds, err := core.GenerateDataset(core.DatasetConfig{
+		Sims: 12, ValSims: 1, TestSims: 1, NGrid: 32, Seed: 6,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var re [3]float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.TrainModel(core.TrainConfig{Ranks: 2, Epochs: 4, BaseChannels: 2, Seed: 7}, ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		re = train.RelativeErrors(train.Evaluate(res.Net, ds.Test, ds.Config.Priors))
+	}
+	b.ReportMetric(re[0], "relerr-OmegaM")
+	b.ReportMetric(re[1], "relerr-sigma8")
+	b.ReportMetric(re[2], "relerr-ns")
+}
+
+// BenchmarkEq1_IOBandwidth streams a TFRecord epoch through the throttled
+// pipeline and reports achieved read bandwidth — the §VI-A measurement
+// behind Equation 1.
+func BenchmarkEq1_IOBandwidth(b *testing.B) {
+	dir := b.TempDir()
+	samples := benchSamples(64, 16, 51)
+	paths, err := tfrecord.WriteDataset(dir, "bench", samples, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var fileBytes int64
+	for _, p := range paths {
+		if fi, err := os.Stat(p); err == nil {
+			fileBytes += fi.Size()
+		}
+	}
+	pipe, err := iopipe.NewPipeline(paths, iopipe.Config{
+		Readers: 6, ShuffleBuffer: 16,
+		Throttle: iopipe.NewThrottle(64 << 20), // 64 MiB/s, ~BWmin scale
+		Seed:     1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(fileBytes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc, ec := pipe.Epoch(i)
+		for range sc {
+		}
+		if err := <-ec; err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSingleNodeThroughput measures real single-rank training
+// throughput and sustained Gflop/s — the §V-B analogue (paper: 535 Gflop/s
+// on KNL with MKL-DNN; pure Go lands far lower, the *shape* of the profile
+// is what carries over).
+func BenchmarkSingleNodeThroughput(b *testing.B) {
+	samples := benchSamples(16, 16, 61)
+	var flops, sps float64
+	for i := 0; i < b.N; i++ {
+		res, err := train.Run(train.Config{
+			Ranks: 1, Epochs: 2,
+			Topology: nn.TopologyConfig{InputDim: 16, BaseChannels: 8, Seed: 1},
+			Optim:    optim.Config{},
+			Seed:     8,
+		}, samples, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		flops = train.SustainedFlops(res)
+		sps = res.Epochs[len(res.Epochs)-1].SamplesSec
+	}
+	b.ReportMetric(flops/1e9, "Gflop/s")
+	b.ReportMetric(sps, "samples/s")
+}
+
+// BenchmarkBaseline_PowerSpectrumRegression fits and scores the traditional
+// statistics baseline (§II-A).
+func BenchmarkBaseline_PowerSpectrumRegression(b *testing.B) {
+	ds, err := core.GenerateDataset(core.DatasetConfig{
+		Sims: 10, ValSims: 1, TestSims: 1, NGrid: 32, Seed: 9,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var mse float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		model, err := stats.FitRidge(ds.Train, 4, 1e-4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mse, err = model.MSE(ds.Test)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(mse, "test-mse")
+}
+
+// BenchmarkAblation_BlockedVsDirectConv compares the Algorithm-1 blocked
+// kernel against the generic direct convolution at a paper-style layer
+// shape (the §III-C optimization).
+func BenchmarkAblation_BlockedVsDirectConv(b *testing.B) {
+	pool := parallel.NewPool(0)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(71))
+	x := tensor.New(32, 16, 16, 16)
+	x.RandNormal(rng, 0, 1)
+	for _, mode := range []string{"blocked", "direct"} {
+		b.Run(mode, func(b *testing.B) {
+			conv := nn.NewConv3D("c", 32, 32, 3, 1, 1, pool, rand.New(rand.NewSource(1)))
+			if mode == "direct" {
+				conv.ForceDirect(true)
+			}
+			inShape := x.Shape()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				conv.Forward(x)
+			}
+			b.ReportMetric(float64(conv.FwdFLOPs(inShape))/1e9/b.Elapsed().Seconds()*float64(b.N), "Gflop/s")
+		})
+	}
+}
+
+// BenchmarkAblation_AllreduceAlgorithms compares the scalable collectives
+// against the centralized parameter-server baseline (§II-C).
+func BenchmarkAblation_AllreduceAlgorithms(b *testing.B) {
+	const ranks = 8
+	const elems = 1 << 18 // 1 MB
+	for _, algo := range []comm.Algorithm{comm.Ring, comm.RecursiveDoubling, comm.Central} {
+		b.Run(algo.String(), func(b *testing.B) {
+			w, err := comm.NewWorld(ranks, comm.WithAlgorithm(algo))
+			if err != nil {
+				b.Fatal(err)
+			}
+			bufs := make([][]float32, ranks)
+			for r := range bufs {
+				bufs[r] = make([]float32, elems)
+			}
+			b.SetBytes(4 * elems)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for _, c := range w.Comms() {
+					wg.Add(1)
+					go func(c *comm.Comm) {
+						defer wg.Done()
+						c.AllReduceSum(bufs[c.Rank()])
+					}(c)
+				}
+				wg.Wait()
+			}
+		})
+	}
+}
+
+// BenchmarkAblation_LARC compares convergence with and without LARC at a
+// large-ish global batch — the stabilization the paper relies on (§III-B).
+func BenchmarkAblation_LARC(b *testing.B) {
+	samples := benchSamples(32, 8, 81)
+	for _, disable := range []bool{false, true} {
+		name := "larc"
+		if disable {
+			name = "plain-adam"
+		}
+		b.Run(name, func(b *testing.B) {
+			var loss float64
+			for i := 0; i < b.N; i++ {
+				res, err := train.Run(train.Config{
+					Ranks: 8, Epochs: 3,
+					Topology: nn.TopologyConfig{InputDim: 8, BaseChannels: 2, Seed: 1},
+					Optim:    optim.Config{DisableLARC: disable},
+					Seed:     9,
+				}, samples, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				loss = res.FinalTrainLoss()
+			}
+			b.ReportMetric(loss, "final-loss")
+		})
+	}
+}
+
+// BenchmarkCosmoSimulation times one full synthetic simulation (IC +
+// Zel'dovich + deposit + split) at laptop scale.
+func BenchmarkCosmoSimulation(b *testing.B) {
+	cfg := cosmo.SimConfig{NGrid: 32, BoxSize: 64, Priors: cosmo.DefaultPriors()}
+	p := cosmo.Planck2015()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.Simulate(p, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchSamples builds deterministic synthetic training samples.
+func benchSamples(n, dim int, seed int64) []*cosmo.Sample {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*cosmo.Sample, n)
+	for i := range out {
+		target := [3]float32{rng.Float32(), rng.Float32(), rng.Float32()}
+		out[i] = cosmo.SyntheticSample(dim, target, rng.Int63())
+	}
+	return out
+}
+
+// BenchmarkAblation_OverlapComm compares the blocking flatten-allreduce
+// step against the §III-D overlapped pipeline at 4 ranks.
+func BenchmarkAblation_OverlapComm(b *testing.B) {
+	samples := benchSamples(16, 16, 91)
+	for _, overlap := range []bool{false, true} {
+		name := "blocking"
+		if overlap {
+			name = "overlapped"
+		}
+		b.Run(name, func(b *testing.B) {
+			var sps float64
+			for i := 0; i < b.N; i++ {
+				res, err := train.Run(train.Config{
+					Ranks: 4, Epochs: 2,
+					Topology:    nn.TopologyConfig{InputDim: 16, BaseChannels: 4, Seed: 1},
+					Optim:       optim.Config{},
+					Helpers:     4,
+					OverlapComm: overlap,
+					Seed:        10,
+				}, samples, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sps = res.Epochs[len(res.Epochs)-1].SamplesSec
+			}
+			b.ReportMetric(sps, "samples/s")
+		})
+	}
+}
+
+// BenchmarkAblation_ZAvs2LPT compares the two N-body-lite evolution orders
+// (the substrate-fidelity knob; COLA is built on 2LPT).
+func BenchmarkAblation_ZAvs2LPT(b *testing.B) {
+	p := cosmo.Planck2015()
+	for _, lpt := range []bool{false, true} {
+		name := "zeldovich"
+		if lpt {
+			name = "2lpt"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := cosmo.SimConfig{NGrid: 32, BoxSize: 64, Priors: cosmo.DefaultPriors(), Use2LPT: lpt}
+			for i := 0; i < b.N; i++ {
+				if _, err := cfg.Simulate(p, int64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

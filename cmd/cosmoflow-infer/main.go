@@ -1,0 +1,71 @@
+// Command cosmoflow-infer loads a trained checkpoint and predicts
+// cosmological parameters for a TFRecord test split — the Figure-6
+// inference step as a standalone tool.
+//
+// Usage:
+//
+//	cosmoflow-infer -ckpt model.ckpt -data data/ -base 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/cosmo"
+	"repro/internal/nn"
+	"repro/internal/tfrecord"
+	"repro/internal/train"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cosmoflow-infer: ")
+
+	ckpt := flag.String("ckpt", "", "checkpoint file written by the trainer")
+	dataDir := flag.String("data", "", "TFRecord dataset directory")
+	split := flag.String("split", "test", "split prefix to score (test or val)")
+	base := flag.Int("base", 4, "base channel count the checkpoint was trained with")
+	channels := flag.Int("channels", 1, "input channels the checkpoint was trained with")
+	limit := flag.Int("limit", 16, "maximum samples to print (0 = all)")
+	flag.Parse()
+	if *ckpt == "" || *dataDir == "" {
+		log.Fatal("provide -ckpt FILE and -data DIR")
+	}
+
+	samples, err := tfrecord.ReadSplit(*dataDir, *split)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(samples) == 0 {
+		log.Fatalf("no %s-*.tfrecord files in %s", *split, *dataDir)
+	}
+
+	net, err := nn.BuildCosmoFlow(nn.TopologyConfig{
+		InputDim:      samples[0].Dim,
+		InputChannels: *channels,
+		BaseChannels:  *base,
+		Seed:          1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := net.LoadCheckpointFile(*ckpt); err != nil {
+		log.Fatal(err)
+	}
+	net.SetTraining(false)
+
+	shown := samples
+	if *limit > 0 && len(shown) > *limit {
+		shown = shown[:*limit]
+	}
+	priors := cosmo.DefaultPriors()
+	ests := train.Evaluate(net, shown, priors)
+	fmt.Print(train.FormatEstimates(ests))
+
+	all := train.Evaluate(net, samples, priors)
+	re := train.RelativeErrors(all)
+	fmt.Printf("\naverage relative errors over %d samples: ΩM %.4f  σ8 %.4f  ns %.4f\n",
+		len(samples), re[0], re[1], re[2])
+	fmt.Println("(paper §VII-A converged: 0.0022, 0.0094, 0.0096)")
+}

@@ -1,0 +1,65 @@
+// Command cosmoflow-scale regenerates the paper's scaling results from the
+// calibrated cluster model: the Figure-4 curves for Cori (DataWarp and
+// Lustre) and Piz Daint (Lustre), the §VI-A I/O bandwidth analysis
+// (Equation 1), and the §VI-B communication bandwidth estimates.
+//
+// Usage:
+//
+//	cosmoflow-scale            # all Figure-4 sweeps + analyses
+//	cosmoflow-scale -samples 99456
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/hpcsim"
+)
+
+func main() {
+	samples := flag.Int("samples", 99456, "training samples per epoch (paper: 99,456 ×2 with augmentation)")
+	flag.Parse()
+
+	nodes := hpcsim.Fig4NodeCounts()
+
+	fmt.Println("=== Figure 4: fully synchronous training scaling ===")
+	for _, run := range []struct {
+		m  hpcsim.Machine
+		fs hpcsim.Filesystem
+	}{
+		{hpcsim.Cori(), hpcsim.CoriDataWarp()},
+		{hpcsim.Cori(), hpcsim.CoriLustre()},
+		{hpcsim.Cori(), hpcsim.Unthrottled()},
+		{hpcsim.PizDaint(), hpcsim.PizDaintLustre()},
+	} {
+		ms := hpcsim.Sweep(run.m, run.fs, nodes, *samples)
+		fmt.Println(hpcsim.FormatSweep(run.m, run.fs, ms))
+	}
+
+	cori := hpcsim.Cori()
+	fmt.Println("=== §VI-A: I/O analysis (Equation 1) ===")
+	fmt.Printf("BWmin = b·S/t = 1 × %.0f MB / %.3f s = %.1f MB/s per node (paper: 62 MB/s)\n",
+		cori.SampleBytes/1e6, cori.StepCompute.Seconds(), cori.BWMin()/1e6)
+	fmt.Printf("one 2.8 GB/s Lustre OST can feed %.0f nodes (paper: 46)\n", 2.8e9/cori.BWMin())
+	s128L, _ := cori.StepTime(hpcsim.CoriLustre(), 128)
+	s128B, _ := cori.StepTime(hpcsim.CoriDataWarp(), 128)
+	fmt.Printf("step @128 ranks: %v Lustre vs %v DataWarp (%.0f%% gain; paper: 16%%)\n\n",
+		s128L.Round(time.Millisecond), s128B.Round(time.Millisecond),
+		100*(float64(s128L)/float64(s128B)-1))
+
+	fmt.Println("=== §VI-B: gradient aggregation ===")
+	for _, n := range []int{1024, 8192} {
+		fmt.Printf("%5d nodes: %.2f GB/s/node effective, %.1f ms latency for the %.2f MB message\n",
+			n, cori.CommBandwidth(n)/1e9,
+			float64(cori.CommTime(n))/float64(time.Millisecond),
+			cori.GradBytes/1e6)
+	}
+	fmt.Println("(paper: 1.7 GB/s and 33 ms at 1024 nodes; 1.42 GB/s at 8192)")
+
+	fmt.Println("\n=== §V-D: full-scale run ===")
+	full := hpcsim.Simulate(cori, hpcsim.CoriDataWarp(), 8192, 8192*20)
+	fmt.Printf("8192 nodes × 20 samples: %.2f s/epoch, %.1f%% efficiency, %.2f Pflop/s sustained\n",
+		full.EpochTime.Seconds(), 100*full.Efficiency, full.AggregateFlops/1e15)
+	fmt.Println("(paper: 3.35 s/epoch, 77% efficiency, 3.5 Pflop/s)")
+}

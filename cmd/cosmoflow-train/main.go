@@ -1,0 +1,122 @@
+// Command cosmoflow-train runs fully synchronous data-parallel training
+// (Algorithm 2) of the CosmoFlow network, either on a TFRecord dataset
+// produced by cosmoflow-datagen or on generated-on-the-fly synthetic data
+// (the paper's "dummy data" mode, §V-C1).
+//
+// Usage:
+//
+//	cosmoflow-train -data data/ -ranks 4 -epochs 8 -profile
+//	cosmoflow-train -synthetic 64 -dim 16 -ranks 8 -epochs 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/cosmo"
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/tfrecord"
+	"repro/internal/train"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cosmoflow-train: ")
+
+	dataDir := flag.String("data", "", "TFRecord dataset directory (from cosmoflow-datagen)")
+	synthetic := flag.Int("synthetic", 0, "train on N synthetic samples instead of files")
+	dim := flag.Int("dim", 16, "synthetic sample edge length (power of two)")
+	ranks := flag.Int("ranks", 4, "data-parallel workers (global batch size, §III-B)")
+	epochs := flag.Int("epochs", 4, "training epochs")
+	base := flag.Int("base", 4, "base channel count (16 = paper scale)")
+	algo := flag.String("algo", "ring", "allreduce algorithm: ring, rd, central")
+	helpers := flag.Int("helpers", 4, "allreduce helper teams (§III-D)")
+	workers := flag.Int("workers", 1, "compute threads per rank")
+	profile := flag.Bool("profile", false, "print the Figure-3 time breakdown")
+	seed := flag.Int64("seed", 1, "random seed")
+	ckpt := flag.String("ckpt", "", "checkpoint file to write each epoch (and to read with -resume)")
+	resume := flag.String("resume", "", "checkpoint file to resume from")
+	overlap := flag.Bool("overlap", false, "overlap gradient aggregation with backprop (§III-D)")
+	flag.Parse()
+
+	var trainSet, valSet []*cosmo.Sample
+	switch {
+	case *dataDir != "":
+		var err error
+		trainSet, err = tfrecord.ReadSplit(*dataDir, "train")
+		if err != nil {
+			log.Fatal(err)
+		}
+		valSet, _ = tfrecord.ReadSplit(*dataDir, "val")
+		if len(trainSet) == 0 {
+			log.Fatalf("no train-*.tfrecord files in %s", *dataDir)
+		}
+	case *synthetic > 0:
+		rng := rand.New(rand.NewSource(*seed))
+		for i := 0; i < *synthetic; i++ {
+			target := [3]float32{rng.Float32(), rng.Float32(), rng.Float32()}
+			trainSet = append(trainSet, cosmo.SyntheticSample(*dim, target, rng.Int63()))
+		}
+		valSet = trainSet[:min(len(trainSet), 8)]
+	default:
+		log.Fatal("provide -data DIR or -synthetic N")
+	}
+
+	algorithm := comm.Ring
+	switch *algo {
+	case "ring":
+	case "rd":
+		algorithm = comm.RecursiveDoubling
+	case "central":
+		algorithm = comm.Central
+	default:
+		log.Fatalf("unknown algorithm %q", *algo)
+	}
+
+	cfg := train.Config{
+		Ranks:  *ranks,
+		Epochs: *epochs,
+		Topology: nn.TopologyConfig{
+			InputDim:     trainSet[0].Dim,
+			BaseChannels: *base,
+			Seed:         *seed + 1,
+		},
+		Optim:          optim.Config{},
+		Algorithm:      algorithm,
+		Helpers:        *helpers,
+		WorkersPerRank: *workers,
+		Profile:        *profile,
+		Seed:           *seed,
+		CheckpointPath: *ckpt,
+		ResumeFrom:     *resume,
+		OverlapComm:    *overlap,
+	}
+
+	fmt.Printf("CosmoFlow training: %d ranks × batch 1 (global batch %d), %s allreduce, %d helpers\n",
+		*ranks, *ranks, algorithm, *helpers)
+	res, err := train.Run(cfg, trainSet, valSet)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println(res.Net.Summary())
+	fmt.Printf("%6s %12s %12s %10s %12s\n", "epoch", "train loss", "val loss", "time", "samples/s")
+	for _, e := range res.Epochs {
+		fmt.Printf("%6d %12.6f %12.6f %10v %12.2f\n",
+			e.Epoch, e.TrainLoss, e.ValLoss, e.Duration.Round(time.Millisecond), e.SamplesSec)
+	}
+	fwd, bwd := res.Net.TotalFLOPs()
+	fmt.Printf("\nnetwork: %.2f Mflop/sample fwd, %.2f Mflop bwd; gradient message %.2f MB\n",
+		float64(fwd)/1e6, float64(bwd)/1e6, float64(res.GradBytes)/1e6)
+	fmt.Printf("sustained %.2f Gflop/s across all ranks; total wall time %v\n",
+		train.SustainedFlops(res)/1e9, res.TotalTime.Round(time.Millisecond))
+	if res.Profile != nil {
+		fmt.Println("\ntime breakdown (rank 0, Figure-3 analogue):")
+		fmt.Println(res.Profile)
+	}
+}

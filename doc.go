@@ -1,0 +1,20 @@
+// Package repro is a from-scratch Go reproduction of "CosmoFlow: Using Deep
+// Learning to Learn the Universe at Scale" (Mathuriya et al., SC18).
+//
+// The library implements the paper's full stack with only the Go standard
+// library: a 3D convolutional neural network with the paper's
+// channel-blocked direct-convolution kernels (internal/nn, internal/tensor),
+// the Adam+LARC optimizer with polynomial decay (internal/optim), fully
+// synchronous data-parallel training over an in-process MPI-like world with
+// ring/recursive-doubling/parameter-server collectives (internal/comm,
+// internal/train), a TFRecord I/O pipeline with bandwidth throttling
+// (internal/tfrecord, internal/iopipe), a synthetic cosmology data generator
+// built on a pure-Go 3D FFT (internal/cosmo, internal/fft), a calibrated
+// cluster model that regenerates the paper's 8192-node scaling results
+// (internal/hpcsim), and the traditional power-spectrum statistics baseline
+// (internal/stats).
+//
+// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// paper-versus-measured record of every table and figure, and bench_test.go
+// for the benchmark harness that regenerates them.
+package repro

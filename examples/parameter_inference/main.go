@@ -1,0 +1,70 @@
+// Parameter inference: the Figure-6 / §VII-A experiment at laptop scale.
+//
+// Trains the CosmoFlow network on physically simulated volumes, reports the
+// per-parameter relative errors next to the paper's 2048- and 8192-node
+// results, and compares against the traditional power-spectrum baseline
+// (§II-A) that deep learning is claimed to beat. Also demonstrates the
+// Figure-5 effect: the same data split across more ranks (larger global
+// batch) converges more slowly per epoch.
+//
+// Run with:
+//
+//	go run ./examples/parameter_inference
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	log.SetFlags(0)
+	start := time.Now()
+
+	ds, err := core.GenerateDataset(core.DatasetConfig{
+		Sims: 24, ValSims: 2, TestSims: 2, NGrid: 32, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d train / %d val / %d test sub-volumes (%d³ voxels)\n\n",
+		len(ds.Train), len(ds.Val), len(ds.Test), ds.Config.SubVolumeDim())
+
+	// Figure-5 analogue: identical data and epochs, increasing rank count.
+	// More ranks = larger global batch = fewer optimizer steps per epoch,
+	// so per-epoch convergence degrades, exactly as the 8192-node run lags
+	// the 2048-node run in the paper.
+	fmt.Println("=== Figure 5 analogue: convergence vs global batch size ===")
+	fmt.Printf("%6s %18s %18s\n", "ranks", "final train loss", "final val loss")
+	var best *core.Comparison
+	for _, ranks := range []int{2, 8} {
+		res, err := core.TrainModel(core.TrainConfig{
+			Ranks: ranks, Epochs: 8, BaseChannels: 2, Seed: 5,
+		}, ds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%6d %18.5f %18.5f\n", ranks, res.FinalTrainLoss(), res.FinalValLoss())
+		if ranks == 2 {
+			best, err = core.CompareBaseline(res, ds, 4, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	fmt.Println("\n=== Figure 6 / §VII-A analogue: parameter estimation accuracy ===")
+	conv, under := core.PaperRelativeErrors()
+	fmt.Printf("%-28s %10s %10s %10s\n", "", "ΩM", "σ8", "ns")
+	fmt.Printf("%-28s %10.4f %10.4f %10.4f\n", "this run (CNN)", best.CNNRelErr[0], best.CNNRelErr[1], best.CNNRelErr[2])
+	fmt.Printf("%-28s %10.4f %10.4f %10.4f\n", "this run (P(k) baseline)", best.BaselineRelErr[0], best.BaselineRelErr[1], best.BaselineRelErr[2])
+	fmt.Printf("%-28s %10.4f %10.4f %10.4f\n", "paper, 2048 nodes converged", conv[0], conv[1], conv[2])
+	fmt.Printf("%-28s %10.4f %10.4f %10.4f\n", "paper, 8192 nodes short run", under[0], under[1], under[2])
+	fmt.Println("\n(absolute errors differ — the paper trains 99k 128³ volumes for 130 epochs;" +
+		"\n this run is laptop-scale — but the qualitative story should hold: the CNN" +
+		"\n beats reduced statistics, and ΩM is the easiest parameter)")
+	fmt.Printf("\ntotal time %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,405 @@
+// Package comm provides the data-parallel communication substrate: an
+// in-process "MPI world" of ranks connected by channels, with the gradient
+// collectives the paper's training loop needs (Algorithm 2).
+//
+// It stands in for the Cray PE ML Plugin (§III-D): every rank is a worker
+// (no parameter servers in the default algorithms), collectives are
+// implemented with scalable algorithms (ring reduce-scatter/allgather and
+// recursive doubling), and large buffers can be split across a pool of
+// helper goroutines that each progress a chunk of the aggregation
+// independently — the plugin's helper-thread teams. A centralized
+// parameter-server algorithm is included as the gRPC-style baseline that
+// Mathuriya et al. (2017) showed does not scale.
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/tensor"
+)
+
+// Algorithm selects the allreduce implementation.
+type Algorithm int
+
+const (
+	// Ring is the bandwidth-optimal ring reduce-scatter + allgather.
+	Ring Algorithm = iota
+	// RecursiveDoubling is the latency-optimal log₂(n) exchange; it falls
+	// back to Ring for non-power-of-two worlds.
+	RecursiveDoubling
+	// Central is the master-based baseline: rank 0 sums and redistributes
+	// (the gRPC parameter-server pattern of §II-C).
+	Central
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case Ring:
+		return "ring"
+	case RecursiveDoubling:
+		return "recursive-doubling"
+	case Central:
+		return "central"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// MaxTags is the number of independent in-order message streams per rank
+// pair: one per helper team plus reserved control tags.
+const MaxTags = 10
+
+// barrierTag and bcastTag are reserved message streams for control
+// collectives so they never interleave with helper traffic.
+const (
+	barrierTag = MaxTags - 1
+	bcastTag   = MaxTags - 2
+)
+
+// maxHelpers is the largest usable helper-team count (remaining tags).
+const maxHelpers = MaxTags - 2
+
+// World is a set of n ranks wired all-to-all with tagged FIFO channels.
+type World struct {
+	n         int
+	algorithm Algorithm
+	helpers   int
+	links     [][][]chan []float32 // [src][dst][tag]
+	bytesSent atomic.Int64
+	msgsSent  atomic.Int64
+}
+
+// Option configures a World.
+type Option func(*World)
+
+// WithAlgorithm selects the allreduce algorithm (default Ring).
+func WithAlgorithm(a Algorithm) Option { return func(w *World) { w.algorithm = a } }
+
+// WithHelpers sets the helper-team count used to chunk large allreduces
+// (default 1; the paper uses 4 helper threads on Cori and 2 on Piz Daint,
+// §III-D). Values are clamped to [1, maxHelpers].
+func WithHelpers(h int) Option {
+	return func(w *World) {
+		if h < 1 {
+			h = 1
+		}
+		if h > maxHelpers {
+			h = maxHelpers
+		}
+		w.helpers = h
+	}
+}
+
+// NewWorld builds an n-rank world. n must be at least 1.
+func NewWorld(n int, opts ...Option) (*World, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("comm: world size %d must be positive", n)
+	}
+	w := &World{n: n, algorithm: Ring, helpers: 1}
+	for _, o := range opts {
+		o(w)
+	}
+	w.links = make([][][]chan []float32, n)
+	for s := 0; s < n; s++ {
+		w.links[s] = make([][]chan []float32, n)
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			tags := make([]chan []float32, MaxTags)
+			for t := range tags {
+				tags[t] = make(chan []float32, 4)
+			}
+			w.links[s][d] = tags
+		}
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.n }
+
+// Algorithm returns the configured allreduce algorithm.
+func (w *World) Algorithm() Algorithm { return w.algorithm }
+
+// Helpers returns the helper-team count.
+func (w *World) Helpers() int { return w.helpers }
+
+// BytesSent returns the cumulative payload bytes sent by all ranks, for the
+// §VI-B bandwidth accounting.
+func (w *World) BytesSent() int64 { return w.bytesSent.Load() }
+
+// MessagesSent returns the cumulative message count.
+func (w *World) MessagesSent() int64 { return w.msgsSent.Load() }
+
+// Comm returns rank r's communicator handle.
+func (w *World) Comm(r int) *Comm {
+	if r < 0 || r >= w.n {
+		panic(fmt.Sprintf("comm: rank %d outside world of size %d", r, w.n))
+	}
+	return &Comm{world: w, rank: r}
+}
+
+// Comms returns communicators for all ranks in order.
+func (w *World) Comms() []*Comm {
+	out := make([]*Comm, w.n)
+	for i := range out {
+		out[i] = w.Comm(i)
+	}
+	return out
+}
+
+// Comm is one rank's endpoint. All collective methods must be invoked by
+// every rank of the world ("collectively"), each from its own goroutine.
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// Rank returns this endpoint's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.n }
+
+// send transmits a copy of buf to dst on the given tag stream.
+func (c *Comm) send(dst, tag int, buf []float32) {
+	cp := make([]float32, len(buf))
+	copy(cp, buf)
+	c.world.bytesSent.Add(int64(4 * len(buf)))
+	c.world.msgsSent.Add(1)
+	c.world.links[c.rank][dst][tag] <- cp
+}
+
+// recv blocks for the next message from src on the given tag stream.
+func (c *Comm) recv(src, tag int) []float32 {
+	return <-c.world.links[src][c.rank][tag]
+}
+
+// Barrier blocks until every rank has entered it (dissemination barrier).
+func (c *Comm) Barrier() {
+	n := c.world.n
+	if n == 1 {
+		return
+	}
+	token := []float32{}
+	for d := 1; d < n; d <<= 1 {
+		c.send((c.rank+d)%n, barrierTag, token)
+		c.recv((c.rank-d+n)%n, barrierTag)
+	}
+}
+
+// Broadcast distributes root's buf to every rank in place using a binomial
+// tree, as the paper does for the initial model parameters (§V-A).
+func (c *Comm) Broadcast(buf []float32, root int) {
+	n := c.world.n
+	if n == 1 {
+		return
+	}
+	// Work in a rotated rank space where the root is 0.
+	vr := (c.rank - root + n) % n
+	received := vr == 0
+	for offset := 1; offset < n; offset <<= 1 {
+		if received && vr+offset < n && vr < offset {
+			dst := (vr + offset + root) % n
+			c.send(dst, bcastTag, buf)
+		} else if !received && vr >= offset && vr < 2*offset {
+			src := (vr - offset + root) % n
+			got := c.recv(src, bcastTag)
+			copy(buf, got)
+			received = true
+		}
+	}
+}
+
+// AllReduceSum sums buf element-wise across all ranks, leaving the result in
+// every rank's buf. The configured helper-team count splits the buffer into
+// independent chunks whose aggregations progress concurrently.
+func (c *Comm) AllReduceSum(buf []float32) {
+	n := c.world.n
+	if n == 1 {
+		return
+	}
+	h := c.world.helpers
+	if h > len(buf) {
+		h = 1
+	}
+	if h == 1 {
+		c.allReduceChunk(buf, 0)
+		return
+	}
+	chunk := (len(buf) + h - 1) / h
+	var wg sync.WaitGroup
+	for i := 0; i < h; i++ {
+		lo := i * chunk
+		if lo >= len(buf) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(buf) {
+			hi = len(buf)
+		}
+		wg.Add(1)
+		go func(seg []float32, tag int) {
+			defer wg.Done()
+			c.allReduceChunk(seg, tag)
+		}(buf[lo:hi], i)
+	}
+	wg.Wait()
+}
+
+// allReduceChunk dispatches one contiguous chunk to the configured
+// algorithm on the given tag stream.
+func (c *Comm) allReduceChunk(buf []float32, tag int) {
+	switch c.world.algorithm {
+	case Central:
+		c.allReduceCentral(buf, tag)
+	case RecursiveDoubling:
+		n := c.world.n
+		if n&(n-1) == 0 {
+			c.allReduceRecursiveDoubling(buf, tag)
+			return
+		}
+		c.allReduceRing(buf, tag)
+	default:
+		c.allReduceRing(buf, tag)
+	}
+}
+
+// allReduceRing is the bandwidth-optimal ring algorithm: n−1 reduce-scatter
+// steps followed by n−1 allgather steps, 2·(n−1)/n of the buffer crossing
+// each link — the "twice the message length" cost the paper uses in its
+// §VI-B bandwidth estimate.
+func (c *Comm) allReduceRing(buf []float32, tag int) {
+	n := c.world.n
+	r := c.rank
+	next := (r + 1) % n
+	prev := (r - 1 + n) % n
+
+	seg := func(i int) (int, int) {
+		i = ((i % n) + n) % n
+		lo := i * len(buf) / n
+		hi := (i + 1) * len(buf) / n
+		return lo, hi
+	}
+
+	// Reduce-scatter: after step s, each rank holds the partial sum of
+	// segment (rank−s−1).
+	for s := 0; s < n-1; s++ {
+		slo, shi := seg(r - s)
+		c.send(next, tag, buf[slo:shi])
+		rlo, rhi := seg(r - s - 1)
+		got := c.recv(prev, tag)
+		tensor.Axpy(1, got, buf[rlo:rhi])
+	}
+	// Allgather: circulate the completed segments.
+	for s := 0; s < n-1; s++ {
+		slo, shi := seg(r + 1 - s)
+		c.send(next, tag, buf[slo:shi])
+		rlo, rhi := seg(r - s)
+		got := c.recv(prev, tag)
+		copy(buf[rlo:rhi], got)
+	}
+}
+
+// allReduceRecursiveDoubling exchanges the full buffer with partners at
+// doubling distances; requires a power-of-two world.
+func (c *Comm) allReduceRecursiveDoubling(buf []float32, tag int) {
+	n := c.world.n
+	for d := 1; d < n; d <<= 1 {
+		partner := c.rank ^ d
+		// Both sides send then receive; channel buffering (cap ≥ 1)
+		// prevents deadlock on the symmetric exchange.
+		c.send(partner, tag, buf)
+		got := c.recv(partner, tag)
+		tensor.Axpy(1, got, buf)
+	}
+}
+
+// allReduceCentral gathers everything at rank 0, which sums and unicasts
+// the result back: the master-based pattern whose algorithmic and
+// socket-level inefficiencies motivated the ML Plugin (§II-C).
+func (c *Comm) allReduceCentral(buf []float32, tag int) {
+	n := c.world.n
+	if c.rank == 0 {
+		for src := 1; src < n; src++ {
+			got := c.recv(src, tag)
+			tensor.Axpy(1, got, buf)
+		}
+		for dst := 1; dst < n; dst++ {
+			c.send(dst, tag, buf)
+		}
+	} else {
+		c.send(0, tag, buf)
+		got := c.recv(0, tag)
+		copy(buf, got)
+	}
+}
+
+// AllReduceMean computes the element-wise mean across ranks: the gradient
+// averaging step of Algorithm 2.
+func (c *Comm) AllReduceMean(buf []float32) {
+	c.AllReduceSum(buf)
+	if n := c.world.n; n > 1 {
+		tensor.Scale(1/float32(n), buf)
+	}
+}
+
+// AllReduceScalar reduces a single float64 (loss averaging at epoch end).
+func (c *Comm) AllReduceScalar(v float64) float64 {
+	buf := []float32{float32(v)}
+	c.AllReduceSum(buf)
+	return float64(buf[0])
+}
+
+// ReduceScatterSum performs the reduce-scatter half of the ring allreduce:
+// buf is summed element-wise across ranks, and on return this rank's owned
+// segment (whose bounds are returned) holds its portion of the global sum.
+// The rest of buf holds partial sums and must be treated as scratch.
+func (c *Comm) ReduceScatterSum(buf []float32) (lo, hi int) {
+	n := c.world.n
+	if n == 1 {
+		return 0, len(buf)
+	}
+	r := c.rank
+	next := (r + 1) % n
+	prev := (r - 1 + n) % n
+	seg := func(i int) (int, int) {
+		i = ((i % n) + n) % n
+		return i * len(buf) / n, (i + 1) * len(buf) / n
+	}
+	for s := 0; s < n-1; s++ {
+		slo, shi := seg(r - s)
+		c.send(next, 0, buf[slo:shi])
+		rlo, rhi := seg(r - s - 1)
+		got := c.recv(prev, 0)
+		tensor.Axpy(1, got, buf[rlo:rhi])
+	}
+	return seg(r + 1)
+}
+
+// AllGather concatenates every rank's equal-length local block into out,
+// ordered by rank. len(out) must be Size()·len(local).
+func (c *Comm) AllGather(local, out []float32) {
+	n := c.world.n
+	if len(out) != n*len(local) {
+		panic(fmt.Sprintf("comm: AllGather out length %d, want %d", len(out), n*len(local)))
+	}
+	r := c.rank
+	copy(out[r*len(local):(r+1)*len(local)], local)
+	if n == 1 {
+		return
+	}
+	next := (r + 1) % n
+	prev := (r - 1 + n) % n
+	for s := 0; s < n-1; s++ {
+		src := ((r - s) % n + n) % n
+		c.send(next, 0, out[src*len(local):(src+1)*len(local)])
+		dst := ((r - s - 1) % n + n) % n
+		got := c.recv(prev, 0)
+		copy(out[dst*len(local):(dst+1)*len(local)], got)
+	}
+}

@@ -1,0 +1,341 @@
+package comm
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// runWorld executes fn concurrently on every rank and waits for all.
+func runWorld(t *testing.T, w *World, fn func(c *Comm)) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for _, c := range w.Comms() {
+		wg.Add(1)
+		go func(c *Comm) {
+			defer wg.Done()
+			fn(c)
+		}(c)
+	}
+	wg.Wait()
+}
+
+// expectedSum computes the sequential element-wise sum of per-rank inputs.
+func expectedSum(inputs [][]float32) []float64 {
+	out := make([]float64, len(inputs[0]))
+	for _, in := range inputs {
+		for i, v := range in {
+			out[i] += float64(v)
+		}
+	}
+	return out
+}
+
+func testAllReduce(t *testing.T, algo Algorithm, n, helpers, size int) {
+	t.Helper()
+	w, err := NewWorld(n, WithAlgorithm(algo), WithHelpers(helpers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(int64(n*1000 + size)))
+	inputs := make([][]float32, n)
+	bufs := make([][]float32, n)
+	for r := range inputs {
+		inputs[r] = make([]float32, size)
+		for i := range inputs[r] {
+			inputs[r][i] = float32(rng.NormFloat64())
+		}
+		bufs[r] = append([]float32(nil), inputs[r]...)
+	}
+	runWorld(t, w, func(c *Comm) { c.AllReduceSum(bufs[c.Rank()]) })
+	want := expectedSum(inputs)
+	for r := 0; r < n; r++ {
+		for i := range want {
+			if math.Abs(float64(bufs[r][i])-want[i]) > 1e-4*(1+math.Abs(want[i])) {
+				t.Fatalf("algo=%v n=%d helpers=%d: rank %d elem %d = %v, want %v",
+					algo, n, helpers, r, i, bufs[r][i], want[i])
+			}
+		}
+	}
+}
+
+func TestAllReduceSumAllAlgorithms(t *testing.T) {
+	for _, algo := range []Algorithm{Ring, RecursiveDoubling, Central} {
+		for _, n := range []int{1, 2, 3, 4, 5, 8, 16} {
+			for _, helpers := range []int{1, 4} {
+				testAllReduce(t, algo, n, helpers, 37) // odd size exercises segment remainders
+			}
+		}
+	}
+}
+
+func TestAllReduceLargeBuffer(t *testing.T) {
+	testAllReduce(t, Ring, 8, 4, 100_000)
+}
+
+func TestAllReduceTinyBufferFewerElementsThanRanks(t *testing.T) {
+	testAllReduce(t, Ring, 8, 1, 3)
+	testAllReduce(t, Ring, 8, 4, 3)
+}
+
+func TestAllReduceMean(t *testing.T) {
+	n := 4
+	w, _ := NewWorld(n)
+	bufs := make([][]float32, n)
+	for r := range bufs {
+		bufs[r] = []float32{float32(r), 1}
+	}
+	runWorld(t, w, func(c *Comm) { c.AllReduceMean(bufs[c.Rank()]) })
+	for r := 0; r < n; r++ {
+		if math.Abs(float64(bufs[r][0])-1.5) > 1e-6 || math.Abs(float64(bufs[r][1])-1) > 1e-6 {
+			t.Fatalf("rank %d mean = %v, want [1.5 1]", r, bufs[r])
+		}
+	}
+}
+
+func TestAllReduceScalar(t *testing.T) {
+	n := 5
+	w, _ := NewWorld(n)
+	results := make([]float64, n)
+	runWorld(t, w, func(c *Comm) {
+		results[c.Rank()] = c.AllReduceScalar(float64(c.Rank() + 1))
+	})
+	for r, got := range results {
+		if math.Abs(got-15) > 1e-4 {
+			t.Fatalf("rank %d scalar sum = %v, want 15", r, got)
+		}
+	}
+}
+
+func TestBroadcastFromEveryRoot(t *testing.T) {
+	n := 6
+	for root := 0; root < n; root++ {
+		w, _ := NewWorld(n)
+		bufs := make([][]float32, n)
+		for r := range bufs {
+			bufs[r] = make([]float32, 10)
+			if r == root {
+				for i := range bufs[r] {
+					bufs[r][i] = float32(100*root + i)
+				}
+			}
+		}
+		runWorld(t, w, func(c *Comm) { c.Broadcast(bufs[c.Rank()], root) })
+		for r := 0; r < n; r++ {
+			for i := range bufs[r] {
+				if bufs[r][i] != float32(100*root+i) {
+					t.Fatalf("root=%d rank=%d elem %d = %v", root, r, i, bufs[r][i])
+				}
+			}
+		}
+	}
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	n := 8
+	w, _ := NewWorld(n)
+	var before, after atomic.Int32
+	runWorld(t, w, func(c *Comm) {
+		before.Add(1)
+		c.Barrier()
+		// Every rank must have incremented before any rank proceeds.
+		if got := before.Load(); got != int32(n) {
+			t.Errorf("rank %d passed barrier with only %d/%d arrivals", c.Rank(), got, n)
+		}
+		after.Add(1)
+	})
+	if after.Load() != int32(n) {
+		t.Fatal("not all ranks exited the barrier")
+	}
+}
+
+func TestSingleRankCollectivesAreNoOps(t *testing.T) {
+	w, _ := NewWorld(1)
+	c := w.Comm(0)
+	buf := []float32{1, 2, 3}
+	c.AllReduceSum(buf)
+	c.Broadcast(buf, 0)
+	c.Barrier()
+	if buf[0] != 1 || buf[2] != 3 {
+		t.Error("single-rank collectives must not modify data")
+	}
+}
+
+func TestWorldValidation(t *testing.T) {
+	if _, err := NewWorld(0); err == nil {
+		t.Error("zero-size world accepted")
+	}
+	w, _ := NewWorld(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range Comm() did not panic")
+		}
+	}()
+	w.Comm(5)
+}
+
+func TestHelpersClamped(t *testing.T) {
+	w, _ := NewWorld(2, WithHelpers(1000))
+	if w.Helpers() > maxHelpers {
+		t.Errorf("helpers = %d not clamped", w.Helpers())
+	}
+	w2, _ := NewWorld(2, WithHelpers(-3))
+	if w2.Helpers() != 1 {
+		t.Errorf("negative helpers = %d, want 1", w2.Helpers())
+	}
+}
+
+func TestRingBandwidthFactor(t *testing.T) {
+	// The ring algorithm moves 2·(n−1)/n of the buffer per rank — the
+	// factor the paper's §VI-B analysis ("twice the message length")
+	// relies on for large n.
+	n, size := 8, 8000
+	w, _ := NewWorld(n, WithAlgorithm(Ring))
+	bufs := make([][]float32, n)
+	for r := range bufs {
+		bufs[r] = make([]float32, size)
+	}
+	runWorld(t, w, func(c *Comm) { c.AllReduceSum(bufs[c.Rank()]) })
+	perRank := float64(w.BytesSent()) / float64(n)
+	want := 2 * float64(n-1) / float64(n) * float64(4*size)
+	if math.Abs(perRank-want)/want > 0.01 {
+		t.Errorf("ring bytes/rank = %v, want %v", perRank, want)
+	}
+}
+
+func TestCentralConcentratesTrafficAtRoot(t *testing.T) {
+	// The parameter-server baseline moves 2·(n−1) full buffers through
+	// rank 0 — the non-scalable pattern of §II-C.
+	n, size := 8, 1000
+	w, _ := NewWorld(n, WithAlgorithm(Central))
+	bufs := make([][]float32, n)
+	for r := range bufs {
+		bufs[r] = make([]float32, size)
+	}
+	runWorld(t, w, func(c *Comm) { c.AllReduceSum(bufs[c.Rank()]) })
+	total := float64(w.BytesSent())
+	want := 2 * float64(n-1) * float64(4*size)
+	if math.Abs(total-want)/want > 0.01 {
+		t.Errorf("central total bytes = %v, want %v", total, want)
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if Ring.String() != "ring" || Central.String() != "central" ||
+		RecursiveDoubling.String() != "recursive-doubling" {
+		t.Error("algorithm names wrong")
+	}
+	if Algorithm(42).String() == "" {
+		t.Error("unknown algorithm should still render")
+	}
+}
+
+func TestAllReduceDeterministicGivenAlgorithm(t *testing.T) {
+	// The ring algorithm applies additions in a fixed order, so repeated
+	// runs give bit-identical results (important for reproducible SSGD).
+	run := func() []float32 {
+		n := 4
+		w, _ := NewWorld(n, WithAlgorithm(Ring))
+		rng := rand.New(rand.NewSource(5))
+		bufs := make([][]float32, n)
+		for r := range bufs {
+			bufs[r] = make([]float32, 33)
+			for i := range bufs[r] {
+				bufs[r][i] = float32(rng.NormFloat64())
+			}
+		}
+		runWorld(t, w, func(c *Comm) { c.AllReduceSum(bufs[c.Rank()]) })
+		return bufs[0]
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("ring allreduce not deterministic")
+		}
+	}
+}
+
+func TestReduceScatterSum(t *testing.T) {
+	n, size := 4, 32
+	w, _ := NewWorld(n)
+	bufs := make([][]float32, n)
+	inputs := make([][]float32, n)
+	for r := range bufs {
+		bufs[r] = make([]float32, size)
+		for i := range bufs[r] {
+			bufs[r][i] = float32(r*size + i)
+		}
+		inputs[r] = append([]float32(nil), bufs[r]...)
+	}
+	los := make([]int, n)
+	his := make([]int, n)
+	runWorld(t, w, func(c *Comm) {
+		los[c.Rank()], his[c.Rank()] = c.ReduceScatterSum(bufs[c.Rank()])
+	})
+	want := expectedSum(inputs)
+	covered := make([]bool, size)
+	for r := 0; r < n; r++ {
+		for i := los[r]; i < his[r]; i++ {
+			if covered[i] {
+				t.Fatalf("element %d owned by two ranks", i)
+			}
+			covered[i] = true
+			if math.Abs(float64(bufs[r][i])-want[i]) > 1e-3 {
+				t.Fatalf("rank %d segment elem %d = %v, want %v", r, i, bufs[r][i], want[i])
+			}
+		}
+	}
+	for i, c := range covered {
+		if !c {
+			t.Fatalf("element %d owned by no rank", i)
+		}
+	}
+}
+
+func TestAllGather(t *testing.T) {
+	n, block := 5, 7
+	w, _ := NewWorld(n)
+	outs := make([][]float32, n)
+	runWorld(t, w, func(c *Comm) {
+		local := make([]float32, block)
+		for i := range local {
+			local[i] = float32(c.Rank()*100 + i)
+		}
+		out := make([]float32, n*block)
+		c.AllGather(local, out)
+		outs[c.Rank()] = out
+	})
+	for r := 0; r < n; r++ {
+		for src := 0; src < n; src++ {
+			for i := 0; i < block; i++ {
+				want := float32(src*100 + i)
+				if outs[r][src*block+i] != want {
+					t.Fatalf("rank %d block %d elem %d = %v, want %v",
+						r, src, i, outs[r][src*block+i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestAllGatherSingleRank(t *testing.T) {
+	w, _ := NewWorld(1)
+	c := w.Comm(0)
+	out := make([]float32, 3)
+	c.AllGather([]float32{1, 2, 3}, out)
+	if out[0] != 1 || out[2] != 3 {
+		t.Error("single-rank allgather wrong")
+	}
+}
+
+func TestAllGatherLengthMismatchPanics(t *testing.T) {
+	w, _ := NewWorld(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	w.Comm(0).AllGather(make([]float32, 4), make([]float32, 5))
+}

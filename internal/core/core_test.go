@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/comm"
+)
+
+func TestEndToEndPipeline(t *testing.T) {
+	ds, err := GenerateDataset(DatasetConfig{Sims: 6, ValSims: 1, TestSims: 1, NGrid: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Train) != 32 || len(ds.Val) != 8 || len(ds.Test) != 8 {
+		t.Fatalf("splits %d/%d/%d", len(ds.Train), len(ds.Val), len(ds.Test))
+	}
+
+	res, err := TrainModel(TrainConfig{Ranks: 2, Epochs: 2, BaseChannels: 2, Seed: 2}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != 2 {
+		t.Fatalf("epochs %d", len(res.Epochs))
+	}
+	if res.FinalValLoss() <= 0 {
+		t.Error("no validation loss recorded")
+	}
+
+	cmp, err := CompareBaseline(res, ds, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if cmp.CNNRelErr[i] <= 0 || cmp.BaselineRelErr[i] <= 0 {
+			t.Errorf("param %d: rel errors %v / %v", i, cmp.CNNRelErr[i], cmp.BaselineRelErr[i])
+		}
+	}
+	if len(cmp.CNNEstimates) != 8 {
+		t.Errorf("estimates %d", len(cmp.CNNEstimates))
+	}
+}
+
+func TestGenerateDatasetValidation(t *testing.T) {
+	if _, err := GenerateDataset(DatasetConfig{}); err == nil {
+		t.Error("zero sims accepted")
+	}
+}
+
+func TestTrainModelValidation(t *testing.T) {
+	ds, _ := GenerateDataset(DatasetConfig{Sims: 3, ValSims: 1, TestSims: 1, NGrid: 16, Seed: 3})
+	empty := *ds
+	empty.Train = nil
+	if _, err := TrainModel(TrainConfig{Ranks: 1, Epochs: 1}, &empty); err == nil {
+		t.Error("empty training set accepted")
+	}
+}
+
+func TestTrainModelCentralAlgorithm(t *testing.T) {
+	ds, err := GenerateDataset(DatasetConfig{Sims: 3, ValSims: 1, TestSims: 1, NGrid: 16, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := TrainModel(TrainConfig{Ranks: 2, Epochs: 1, BaseChannels: 2,
+		Algorithm: comm.Central, Seed: 5}, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalTrainLoss() <= 0 {
+		t.Error("central run produced no loss")
+	}
+}
+
+func TestPaperRelativeErrors(t *testing.T) {
+	conv, under := PaperRelativeErrors()
+	// §VII-A: ΩM is the best-measured parameter in the converged run, and
+	// the under-trained 8192-node run is uniformly worse.
+	if !(conv[0] < conv[1] && conv[0] < conv[2]) {
+		t.Error("converged ΩM should have the smallest relative error")
+	}
+	for i := 0; i < 3; i++ {
+		if under[i] <= conv[i] {
+			t.Errorf("param %d: under-trained error %v should exceed converged %v", i, under[i], conv[i])
+		}
+	}
+}

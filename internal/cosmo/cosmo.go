@@ -1,0 +1,118 @@
+// Package cosmo generates the synthetic dark-matter training data for
+// CosmoFlow.
+//
+// The paper trains on 12,632 COLA N-body simulations (MUSIC initial
+// conditions, pycola evolution): 512³ particles in 512 h⁻¹Mpc boxes,
+// histogrammed into 256³-voxel grids and split into eight 128³ sub-volumes
+// (§IV-C). Neither MUSIC nor pycola exists in Go, so this package implements
+// the closest synthetic equivalent that exercises the same code paths:
+//
+//   - a linear matter power spectrum P(k; ΩM, σ8, ns) with the BBKS transfer
+//     function, normalized to σ8 exactly as MUSIC normalizes its initial
+//     conditions;
+//   - Gaussian random density fields drawn from that spectrum (the initial
+//     conditions step);
+//   - Zel'dovich-approximation particle displacement (the analytic
+//     large-scale limit that COLA is constructed to preserve);
+//   - particle deposit to a voxel histogram (the paper uses
+//     numpy.histogramdd, i.e. nearest-grid-point) and the 2×2×2 sub-volume
+//     split.
+//
+// All three target parameters imprint on the generated fields: ΩM through
+// the transfer-function shape parameter Γ = ΩM·h, σ8 through the overall
+// normalization, and ns through the primordial tilt, so a network trained on
+// these volumes faces the same regression problem as the paper's.
+package cosmo
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Params holds the three cosmological parameters the CosmoFlow network
+// predicts (§I-C).
+type Params struct {
+	OmegaM float64 // ΩM: matter fraction of the critical density
+	Sigma8 float64 // σ8: RMS mass fluctuation amplitude at 8 h⁻¹Mpc
+	NS     float64 // ns: scalar spectral index
+}
+
+// Vector returns the parameters as a 3-element slice in the paper's
+// (ΩM, σ8, ns) order.
+func (p Params) Vector() []float64 { return []float64{p.OmegaM, p.Sigma8, p.NS} }
+
+// String renders the parameters compactly.
+func (p Params) String() string {
+	return fmt.Sprintf("ΩM=%.4f σ8=%.4f ns=%.4f", p.OmegaM, p.Sigma8, p.NS)
+}
+
+// Range is a closed parameter interval [Lo, Hi].
+type Range struct{ Lo, Hi float64 }
+
+// Width returns Hi - Lo.
+func (r Range) Width() float64 { return r.Hi - r.Lo }
+
+// Normalize maps v from [Lo, Hi] to [0, 1].
+func (r Range) Normalize(v float64) float64 { return (v - r.Lo) / r.Width() }
+
+// Denormalize maps u from [0, 1] back to [Lo, Hi].
+func (r Range) Denormalize(u float64) float64 { return r.Lo + u*r.Width() }
+
+// Priors are the sampling ranges for the three parameters.
+type Priors struct {
+	OmegaM, Sigma8, NS Range
+}
+
+// DefaultPriors returns the paper's evenly-sampled parameter ranges
+// (§IV-C): 0.25 < ΩM < 0.35, 0.78 < σ8 < 0.95, 0.9 < ns < 1.0.
+func DefaultPriors() Priors {
+	return Priors{
+		OmegaM: Range{0.25, 0.35},
+		Sigma8: Range{0.78, 0.95},
+		NS:     Range{0.90, 1.00},
+	}
+}
+
+// Planck2015 returns the Planck best-fit central values the paper's ranges
+// are centred on (§IV-C).
+func Planck2015() Params {
+	return Params{OmegaM: 0.3089, Sigma8: 0.8159, NS: 0.9667}
+}
+
+// Sample draws uniform random parameters from the priors.
+func (pr Priors) Sample(rng *rand.Rand) Params {
+	return Params{
+		OmegaM: pr.OmegaM.Denormalize(rng.Float64()),
+		Sigma8: pr.Sigma8.Denormalize(rng.Float64()),
+		NS:     pr.NS.Denormalize(rng.Float64()),
+	}
+}
+
+// Normalize maps raw parameters to [0,1]³ for use as regression targets.
+func (pr Priors) Normalize(p Params) [3]float32 {
+	return [3]float32{
+		float32(pr.OmegaM.Normalize(p.OmegaM)),
+		float32(pr.Sigma8.Normalize(p.Sigma8)),
+		float32(pr.NS.Normalize(p.NS)),
+	}
+}
+
+// Denormalize maps normalized [0,1]³ targets back to raw parameters.
+func (pr Priors) Denormalize(v [3]float32) Params {
+	return Params{
+		OmegaM: pr.OmegaM.Denormalize(float64(v[0])),
+		Sigma8: pr.Sigma8.Denormalize(float64(v[1])),
+		NS:     pr.NS.Denormalize(float64(v[2])),
+	}
+}
+
+// Contains reports whether p lies within the priors.
+func (pr Priors) Contains(p Params) bool {
+	in := func(r Range, v float64) bool { return v >= r.Lo && v <= r.Hi }
+	return in(pr.OmegaM, p.OmegaM) && in(pr.Sigma8, p.Sigma8) && in(pr.NS, p.NS)
+}
+
+// HubbleH is the dimensionless Hubble parameter used by the transfer
+// function's shape parameter Γ = ΩM·h. The paper's simulations assume a
+// flat ΛCDM background consistent with Planck 2015.
+const HubbleH = 0.6774

@@ -1,0 +1,214 @@
+package cosmo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPriorsSampleWithinRange(t *testing.T) {
+	pr := DefaultPriors()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		p := pr.Sample(rng)
+		if !pr.Contains(p) {
+			t.Fatalf("sample %v outside priors", p)
+		}
+	}
+}
+
+func TestNormalizeDenormalizeRoundTrip(t *testing.T) {
+	pr := DefaultPriors()
+	f := func(a, b, c uint8) bool {
+		p := Params{
+			OmegaM: pr.OmegaM.Denormalize(float64(a) / 255),
+			Sigma8: pr.Sigma8.Denormalize(float64(b) / 255),
+			NS:     pr.NS.Denormalize(float64(c) / 255),
+		}
+		back := pr.Denormalize(pr.Normalize(p))
+		return math.Abs(back.OmegaM-p.OmegaM) < 1e-6 &&
+			math.Abs(back.Sigma8-p.Sigma8) < 1e-6 &&
+			math.Abs(back.NS-p.NS) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlanckWithinDefaultPriors(t *testing.T) {
+	if !DefaultPriors().Contains(Planck2015()) {
+		t.Error("Planck 2015 best fit should lie inside the paper's priors")
+	}
+}
+
+func TestParamsVector(t *testing.T) {
+	v := Params{0.3, 0.8, 0.96}.Vector()
+	if v[0] != 0.3 || v[1] != 0.8 || v[2] != 0.96 {
+		t.Errorf("Vector = %v", v)
+	}
+}
+
+func TestPowerSpectrumNormalization(t *testing.T) {
+	for _, s8 := range []float64{0.78, 0.8159, 0.95} {
+		ps := NewPowerSpectrum(Params{OmegaM: 0.3089, Sigma8: s8, NS: 0.9667})
+		got := ps.SigmaR(8)
+		if math.Abs(got-s8) > 1e-3*s8 {
+			t.Errorf("σ8=%v: SigmaR(8) = %v", s8, got)
+		}
+	}
+}
+
+func TestPowerSpectrumShape(t *testing.T) {
+	ps := NewPowerSpectrum(Planck2015())
+	if ps.Eval(0) != 0 || ps.Eval(-1) != 0 {
+		t.Error("P(k<=0) must be 0")
+	}
+	// P(k) must rise, peak near k ~ 0.01-0.1, then fall.
+	if ps.Eval(0.001) >= ps.Eval(0.02) {
+		t.Error("P(k) should rise toward the peak")
+	}
+	if ps.Eval(10) >= ps.Eval(0.1) {
+		t.Error("P(k) should fall past the peak")
+	}
+}
+
+func TestPowerSpectrumParameterResponses(t *testing.T) {
+	base := Planck2015()
+	psBase := NewPowerSpectrum(base)
+
+	// Higher σ8 ⇒ more power at every k.
+	hi := base
+	hi.Sigma8 = 0.95
+	psHi := NewPowerSpectrum(hi)
+	for _, k := range []float64{0.01, 0.1, 1} {
+		if psHi.Eval(k) <= psBase.Eval(k) {
+			t.Errorf("σ8 increase should raise P(%v)", k)
+		}
+	}
+
+	// Higher ns tilts power from large to small scales; with σ8 fixed the
+	// ratio P_hi/P_base must grow with k.
+	tilt := base
+	tilt.NS = 1.0
+	psTilt := NewPowerSpectrum(tilt)
+	r1 := psTilt.Eval(0.01) / psBase.Eval(0.01)
+	r2 := psTilt.Eval(1.0) / psBase.Eval(1.0)
+	if r2 <= r1 {
+		t.Errorf("ns increase should tilt power toward high k: ratios %v, %v", r1, r2)
+	}
+
+	// Higher ΩM moves the peak to smaller scales (larger k): at fixed small
+	// k below the peak the transfer suppression is unchanged but the peak
+	// shifts; check the turnover wavenumber grows.
+	om := base
+	om.OmegaM = 0.35
+	psOm := NewPowerSpectrum(om)
+	peak := func(ps *PowerSpectrum) float64 {
+		best, bestK := 0.0, 0.0
+		for lk := -3.0; lk < 0; lk += 0.01 {
+			k := math.Pow(10, lk)
+			if v := ps.Eval(k); v > best {
+				best, bestK = v, k
+			}
+		}
+		return bestK
+	}
+	if peak(psOm) <= peak(psBase) {
+		t.Errorf("ΩM increase should move the P(k) peak to higher k: %v vs %v",
+			peak(psOm), peak(psBase))
+	}
+}
+
+func TestGaussianFieldMatchesTargetSpectrum(t *testing.T) {
+	p := Planck2015()
+	ps := NewPowerSpectrum(p)
+	f, err := GaussianField(32, 128, ps, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks, pow, err := f.MeasurePower(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mid-range bins have many modes; demand agreement within ~50%
+	// (cosmic variance on one realization).
+	for i := 2; i < 7; i++ {
+		want := ps.Eval(ks[i])
+		if pow[i] == 0 {
+			t.Fatalf("bin %d empty", i)
+		}
+		ratio := pow[i] / want
+		if ratio < 0.5 || ratio > 2.0 {
+			t.Errorf("bin %d (k=%.3f): measured/target = %.2f", i, ks[i], ratio)
+		}
+	}
+}
+
+func TestGaussianFieldZeroMean(t *testing.T) {
+	ps := NewPowerSpectrum(Planck2015())
+	f, err := GaussianField(16, 64, ps, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mean float64
+	for _, v := range f.Data {
+		mean += v
+	}
+	mean /= float64(len(f.Data))
+	if math.Abs(mean) > 1e-10 {
+		t.Errorf("field mean = %v, want 0 (zero mode removed)", mean)
+	}
+}
+
+func TestGaussianFieldSigma8Monotonicity(t *testing.T) {
+	base := Planck2015()
+	stds := make([]float64, 0, 3)
+	for _, s8 := range []float64{0.5, 0.8, 1.2} {
+		p := base
+		p.Sigma8 = s8
+		f, err := GaussianField(16, 64, NewPowerSpectrum(p), 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stds = append(stds, f.Std())
+	}
+	if !(stds[0] < stds[1] && stds[1] < stds[2]) {
+		t.Errorf("field std should grow with σ8: %v", stds)
+	}
+	// With identical seeds the field is exactly proportional to σ8.
+	if math.Abs(stds[2]/stds[0]-1.2/0.5) > 1e-6 {
+		t.Errorf("std ratio = %v, want %v", stds[2]/stds[0], 1.2/0.5)
+	}
+}
+
+func TestGaussianFieldDeterministic(t *testing.T) {
+	ps := NewPowerSpectrum(Planck2015())
+	a, _ := GaussianField(16, 64, ps, 5)
+	b, _ := GaussianField(16, 64, ps, 5)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("same seed must give identical fields")
+		}
+	}
+	c, _ := GaussianField(16, 64, ps, 6)
+	same := true
+	for i := range a.Data {
+		if a.Data[i] != c.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should give different fields")
+	}
+}
+
+func TestGaussianFieldRejectsBadSize(t *testing.T) {
+	ps := NewPowerSpectrum(Planck2015())
+	for _, n := range []int{0, 1, 3, 12} {
+		if _, err := GaussianField(n, 64, ps, 1); err == nil {
+			t.Errorf("GaussianField(%d) should fail", n)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package cosmo
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Sample is one training example: a single-channel voxel sub-volume and its
+// normalized-[0,1] parameter targets. Dim is the sub-volume edge length in
+// voxels (128 in the paper; configurable here).
+type Sample struct {
+	Dim    int
+	Voxels []float32  // len = Dim³, preprocessed (log1p + standardize)
+	Target [3]float32 // (ΩM, σ8, ns), normalized to the priors
+}
+
+// Clone returns a deep copy of the sample.
+func (s *Sample) Clone() *Sample {
+	c := &Sample{Dim: s.Dim, Target: s.Target, Voxels: make([]float32, len(s.Voxels))}
+	copy(c.Voxels, s.Voxels)
+	return c
+}
+
+// SimConfig describes one synthetic "universe" run: the scaled-down analogue
+// of the paper's 512 h⁻¹Mpc, 512³-particle COLA boxes.
+type SimConfig struct {
+	// NGrid is the particle/IC grid size per dimension (power of two). The
+	// paper uses 512; the default here is 64 so a full dataset builds on a
+	// laptop. The voxel histogram is NGrid/2 per dimension and each of the
+	// eight sub-volumes is NGrid/4 per dimension, preserving the paper's
+	// 512 → 256 → 128 ratio chain.
+	NGrid int
+	// BoxSize is the comoving box side in h⁻¹Mpc. The paper uses 512; we
+	// scale it with NGrid to keep the voxel resolution at 2 h⁻¹Mpc.
+	BoxSize float64
+	// Priors are the parameter sampling ranges.
+	Priors Priors
+	// UseCIC selects cloud-in-cell deposit instead of the paper's NGP
+	// histogram.
+	UseCIC bool
+	// Use2LPT evolves particles with second-order Lagrangian perturbation
+	// theory instead of the Zel'dovich approximation, one order closer to
+	// the paper's COLA engine.
+	Use2LPT bool
+}
+
+// DefaultSimConfig returns a laptop-scale configuration: 64³ particles in a
+// 128 h⁻¹Mpc box → 32³ voxels → eight 16³ sub-volumes.
+func DefaultSimConfig() SimConfig {
+	return SimConfig{NGrid: 64, BoxSize: 128, Priors: DefaultPriors()}
+}
+
+// PaperSimConfig returns the paper's full-scale configuration: 512³
+// particles in a 512 h⁻¹Mpc box → 256³ voxels → eight 128³ sub-volumes
+// (§IV-C). Generating one of these takes minutes and ~GBs of memory.
+func PaperSimConfig() SimConfig {
+	return SimConfig{NGrid: 512, BoxSize: 512, Priors: DefaultPriors()}
+}
+
+// SubVolumeDim returns the edge length of each generated sub-volume.
+func (c SimConfig) SubVolumeDim() int { return c.NGrid / 4 }
+
+// Validate checks the configuration for internal consistency.
+func (c SimConfig) Validate() error {
+	if c.NGrid < 8 || c.NGrid&(c.NGrid-1) != 0 {
+		return fmt.Errorf("cosmo: NGrid %d must be a power of two >= 8", c.NGrid)
+	}
+	if c.BoxSize <= 0 {
+		return fmt.Errorf("cosmo: BoxSize %g must be positive", c.BoxSize)
+	}
+	return nil
+}
+
+// Simulate runs one full synthetic simulation — initial conditions,
+// Zel'dovich evolution, voxel histogram, sub-volume split, preprocessing —
+// and returns the eight training samples it yields, in octant order.
+func (c SimConfig) Simulate(p Params, seed int64) ([]*Sample, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	ps := NewPowerSpectrum(p)
+	delta, err := GaussianField(c.NGrid, c.BoxSize, ps, seed)
+	if err != nil {
+		return nil, err
+	}
+	var parts *Particles
+	if c.Use2LPT {
+		parts, err = Evolve2LPT(delta)
+	} else {
+		parts, err = ZeldovichEvolve(delta)
+	}
+	if err != nil {
+		return nil, err
+	}
+	var grid *VoxelGrid
+	if c.UseCIC {
+		grid, err = DepositCIC(parts, c.NGrid/2)
+	} else {
+		grid, err = DepositNGP(parts, c.NGrid/2)
+	}
+	if err != nil {
+		return nil, err
+	}
+	subs, err := SplitSubVolumes(grid)
+	if err != nil {
+		return nil, err
+	}
+	target := c.Priors.Normalize(p)
+	samples := make([]*Sample, 0, len(subs))
+	for _, sub := range subs {
+		sub.LogTransform()
+		sub.Standardize()
+		samples = append(samples, &Sample{Dim: sub.M, Voxels: sub.Data, Target: target})
+	}
+	return samples, nil
+}
+
+// Dataset is a set of samples with train/validation/test splits, mirroring
+// the paper's split of 12,632 simulations into 99,456 training, 1,200
+// validation and 400 test sub-volumes (§IV-C).
+type Dataset struct {
+	Train, Val, Test []*Sample
+	Config           SimConfig
+}
+
+// BuildDataset generates nSims simulations with parameters drawn from the
+// config's priors and splits the resulting sub-volumes by simulation (never
+// splitting one simulation across sets, as in the paper): valSims and
+// testSims whole simulations are held out.
+func BuildDataset(c SimConfig, nSims, valSims, testSims int, seed int64) (*Dataset, error) {
+	if nSims <= valSims+testSims {
+		return nil, fmt.Errorf("cosmo: nSims=%d must exceed valSims+testSims=%d", nSims, valSims+testSims)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ds := &Dataset{Config: c}
+	for i := 0; i < nSims; i++ {
+		p := c.Priors.Sample(rng)
+		samples, err := c.Simulate(p, rng.Int63())
+		if err != nil {
+			return nil, fmt.Errorf("cosmo: simulation %d: %w", i, err)
+		}
+		switch {
+		case i < testSims:
+			ds.Test = append(ds.Test, samples...)
+		case i < testSims+valSims:
+			ds.Val = append(ds.Val, samples...)
+		default:
+			ds.Train = append(ds.Train, samples...)
+		}
+	}
+	// Shuffle the training set, as the paper randomizes sub-volume order
+	// when writing TFRecords.
+	rng.Shuffle(len(ds.Train), func(i, j int) { ds.Train[i], ds.Train[j] = ds.Train[j], ds.Train[i] })
+	return ds, nil
+}
+
+// SyntheticSample builds a cheap non-physical sample whose voxel content is
+// a deterministic function of the target parameters. It exists for fast
+// trainer/optimizer tests that need a learnable signal without the cost of a
+// simulation ("dummy data" in the paper's scaling methodology, §V-C).
+func SyntheticSample(dim int, target [3]float32, seed int64) *Sample {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]float32, dim*dim*dim)
+	for i := range v {
+		base := rng.NormFloat64() * 0.1
+		// Inject each parameter at a different spatial frequency so the
+		// network can separate them.
+		z := i / (dim * dim)
+		y := (i / dim) % dim
+		x := i % dim
+		v[i] = float32(base) +
+			target[0]*float32(z%2*2-1) +
+			target[1]*float32(y%2*2-1) +
+			target[2]*float32(x%2*2-1)
+	}
+	return &Sample{Dim: dim, Voxels: v, Target: target}
+}

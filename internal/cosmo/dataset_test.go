@@ -1,0 +1,149 @@
+package cosmo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSimConfigValidate(t *testing.T) {
+	good := DefaultSimConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.NGrid = 12
+	if err := bad.Validate(); err == nil {
+		t.Error("NGrid=12 should fail validation")
+	}
+	bad = good
+	bad.BoxSize = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative BoxSize should fail validation")
+	}
+}
+
+func TestPaperConfigRatios(t *testing.T) {
+	c := PaperSimConfig()
+	if c.NGrid != 512 || c.SubVolumeDim() != 128 {
+		t.Errorf("paper config NGrid=%d sub=%d, want 512/128", c.NGrid, c.SubVolumeDim())
+	}
+	d := DefaultSimConfig()
+	if d.SubVolumeDim()*4 != d.NGrid {
+		t.Error("sub-volume ratio chain broken")
+	}
+}
+
+func TestSimulateProducesEightSamples(t *testing.T) {
+	c := SimConfig{NGrid: 16, BoxSize: 32, Priors: DefaultPriors()}
+	samples, err := c.Simulate(Planck2015(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 8 {
+		t.Fatalf("got %d samples, want 8", len(samples))
+	}
+	for i, s := range samples {
+		if s.Dim != 4 {
+			t.Errorf("sample %d dim = %d, want 4", i, s.Dim)
+		}
+		if len(s.Voxels) != 64 {
+			t.Errorf("sample %d has %d voxels, want 64", i, len(s.Voxels))
+		}
+		for j, tv := range s.Target {
+			if tv < 0 || tv > 1 {
+				t.Errorf("sample %d target[%d] = %v outside [0,1]", i, j, tv)
+			}
+		}
+	}
+}
+
+func TestSimulateTargetsMatchParams(t *testing.T) {
+	c := SimConfig{NGrid: 16, BoxSize: 32, Priors: DefaultPriors()}
+	p := Params{OmegaM: 0.30, Sigma8: 0.865, NS: 0.95}
+	samples, err := c.Simulate(p, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := c.Priors.Denormalize(samples[0].Target)
+	if math.Abs(back.OmegaM-p.OmegaM) > 1e-6 ||
+		math.Abs(back.Sigma8-p.Sigma8) > 1e-6 ||
+		math.Abs(back.NS-p.NS) > 1e-6 {
+		t.Errorf("denormalized target %v != params %v", back, p)
+	}
+}
+
+func TestSimulateCICVariant(t *testing.T) {
+	c := SimConfig{NGrid: 16, BoxSize: 32, Priors: DefaultPriors(), UseCIC: true}
+	samples, err := c.Simulate(Planck2015(), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 8 {
+		t.Fatalf("got %d samples", len(samples))
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	c := SimConfig{NGrid: 16, BoxSize: 32, Priors: DefaultPriors()}
+	a, _ := c.Simulate(Planck2015(), 9)
+	b, _ := c.Simulate(Planck2015(), 9)
+	for i := range a {
+		for j := range a[i].Voxels {
+			if a[i].Voxels[j] != b[i].Voxels[j] {
+				t.Fatal("same seed must give identical samples")
+			}
+		}
+	}
+}
+
+func TestBuildDatasetSplits(t *testing.T) {
+	c := SimConfig{NGrid: 16, BoxSize: 32, Priors: DefaultPriors()}
+	ds, err := BuildDataset(c, 6, 1, 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Test) != 8 || len(ds.Val) != 8 || len(ds.Train) != 32 {
+		t.Errorf("splits = %d/%d/%d, want 32/8/8 train/val/test",
+			len(ds.Train), len(ds.Val), len(ds.Test))
+	}
+}
+
+func TestBuildDatasetRejectsBadSplit(t *testing.T) {
+	c := SimConfig{NGrid: 16, BoxSize: 32, Priors: DefaultPriors()}
+	if _, err := BuildDataset(c, 2, 1, 1, 1); err == nil {
+		t.Error("nSims <= val+test should fail")
+	}
+}
+
+func TestSampleClone(t *testing.T) {
+	s := SyntheticSample(4, [3]float32{0.1, 0.5, 0.9}, 1)
+	c := s.Clone()
+	c.Voxels[0] = 999
+	if s.Voxels[0] == 999 {
+		t.Error("clone aliases voxels")
+	}
+	if c.Target != s.Target || c.Dim != s.Dim {
+		t.Error("clone metadata mismatch")
+	}
+}
+
+func TestSyntheticSampleDeterministicAndSeparable(t *testing.T) {
+	a := SyntheticSample(4, [3]float32{0.2, 0.4, 0.6}, 7)
+	b := SyntheticSample(4, [3]float32{0.2, 0.4, 0.6}, 7)
+	for i := range a.Voxels {
+		if a.Voxels[i] != b.Voxels[i] {
+			t.Fatal("synthetic sample not deterministic")
+		}
+	}
+	c := SyntheticSample(4, [3]float32{0.9, 0.4, 0.6}, 7)
+	diff := false
+	for i := range a.Voxels {
+		if a.Voxels[i] != c.Voxels[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("changing target must change the synthetic voxels")
+	}
+}

@@ -1,0 +1,155 @@
+package cosmo
+
+import (
+	"fmt"
+	"math"
+)
+
+// VoxelGrid is an M³ grid of particle-count values, the direct analogue of
+// the paper's numpy.histogramdd output (§IV-C).
+type VoxelGrid struct {
+	M    int
+	Data []float32
+}
+
+// NewVoxelGrid allocates a zeroed M³ voxel grid.
+func NewVoxelGrid(m int) *VoxelGrid {
+	return &VoxelGrid{M: m, Data: make([]float32, m*m*m)}
+}
+
+// Index returns the flat offset of voxel (z, y, x).
+func (v *VoxelGrid) Index(z, y, x int) int { return (z*v.M+y)*v.M + x }
+
+// Total returns the summed mass (particle count) in the grid.
+func (v *VoxelGrid) Total() float64 {
+	var s float64
+	for _, x := range v.Data {
+		s += float64(x)
+	}
+	return s
+}
+
+// DepositNGP histograms particles into an m³ voxel grid with nearest-grid-
+// point assignment — exactly what numpy.histogramdd does in the paper's
+// pipeline. Particles on the upper box boundary wrap periodically.
+func DepositNGP(p *Particles, m int) (*VoxelGrid, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("cosmo: voxel grid size %d must be positive", m)
+	}
+	g := NewVoxelGrid(m)
+	scale := float64(m) / p.L
+	for i := range p.X {
+		x := int(p.X[i]*scale) % m
+		y := int(p.Y[i]*scale) % m
+		z := int(p.Z[i]*scale) % m
+		g.Data[g.Index(z, y, x)]++
+	}
+	return g, nil
+}
+
+// DepositCIC deposits particles with cloud-in-cell (trilinear) weights, the
+// standard higher-order alternative used by N-body analysis pipelines. Mass
+// is exactly conserved.
+func DepositCIC(p *Particles, m int) (*VoxelGrid, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("cosmo: voxel grid size %d must be positive", m)
+	}
+	g := NewVoxelGrid(m)
+	scale := float64(m) / p.L
+	for i := range p.X {
+		fx := p.X[i] * scale
+		fy := p.Y[i] * scale
+		fz := p.Z[i] * scale
+		x0 := int(math.Floor(fx - 0.5))
+		y0 := int(math.Floor(fy - 0.5))
+		z0 := int(math.Floor(fz - 0.5))
+		wx := fx - 0.5 - float64(x0)
+		wy := fy - 0.5 - float64(y0)
+		wz := fz - 0.5 - float64(z0)
+		for dz := 0; dz < 2; dz++ {
+			zc := ((z0+dz)%m + m) % m
+			wzc := wz
+			if dz == 0 {
+				wzc = 1 - wz
+			}
+			for dy := 0; dy < 2; dy++ {
+				yc := ((y0+dy)%m + m) % m
+				wyc := wy
+				if dy == 0 {
+					wyc = 1 - wy
+				}
+				for dx := 0; dx < 2; dx++ {
+					xc := ((x0+dx)%m + m) % m
+					wxc := wx
+					if dx == 0 {
+						wxc = 1 - wx
+					}
+					g.Data[g.Index(zc, yc, xc)] += float32(wzc * wyc * wxc)
+				}
+			}
+		}
+	}
+	return g, nil
+}
+
+// SplitSubVolumes splits an M³ voxel grid into its eight (M/2)³ octants in
+// z-major order, matching the paper's 256³ → 8×128³ sub-volume split. M must
+// be even.
+func SplitSubVolumes(g *VoxelGrid) ([]*VoxelGrid, error) {
+	if g.M%2 != 0 {
+		return nil, fmt.Errorf("cosmo: voxel grid size %d is odd; cannot split into octants", g.M)
+	}
+	h := g.M / 2
+	subs := make([]*VoxelGrid, 0, 8)
+	for oz := 0; oz < 2; oz++ {
+		for oy := 0; oy < 2; oy++ {
+			for ox := 0; ox < 2; ox++ {
+				s := NewVoxelGrid(h)
+				for z := 0; z < h; z++ {
+					for y := 0; y < h; y++ {
+						srcOff := g.Index(oz*h+z, oy*h+y, ox*h)
+						dstOff := s.Index(z, y, 0)
+						copy(s.Data[dstOff:dstOff+h], g.Data[srcOff:srcOff+h])
+					}
+				}
+				subs = append(subs, s)
+			}
+		}
+	}
+	return subs, nil
+}
+
+// LogTransform applies x → log(1+x) in place, the standard compression of
+// the heavy-tailed particle-count distribution before it enters the network.
+func (v *VoxelGrid) LogTransform() {
+	for i, x := range v.Data {
+		v.Data[i] = float32(math.Log1p(float64(x)))
+	}
+}
+
+// Standardize shifts and scales the grid in place to zero mean and unit
+// standard deviation, returning the (mean, std) used. A zero-variance grid
+// is left centred with std reported as 0.
+func (v *VoxelGrid) Standardize() (mean, std float64) {
+	n := float64(len(v.Data))
+	for _, x := range v.Data {
+		mean += float64(x)
+	}
+	mean /= n
+	for _, x := range v.Data {
+		d := float64(x) - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / n)
+	if std == 0 {
+		for i := range v.Data {
+			v.Data[i] = 0
+		}
+		return mean, 0
+	}
+	inv := 1 / std
+	for i := range v.Data {
+		v.Data[i] = float32((float64(v.Data[i]) - mean) * inv)
+	}
+	return mean, std
+}

@@ -1,0 +1,131 @@
+package cosmo
+
+import (
+	"fmt"
+	"math"
+)
+
+// GrowthFactor returns the linear growth factor D(z) of matter
+// perturbations in a flat ΛCDM universe, normalized so D(z=0) = 1:
+//
+//	D(a) ∝ (5ΩM/2) · E(a) · ∫₀ᵃ da' / (a'·E(a'))³,  E(a) = √(ΩM a⁻³ + ΩΛ)
+//
+// Extending CosmoFlow to multiple redshift snapshots is the first extension
+// the paper calls "within reach" once training is fast (§VII-B); the growth
+// factor is the physics that relates snapshot amplitudes: in linear theory
+// δ(z) = δ(z=0)·D(z).
+func GrowthFactor(omegaM, z float64) (float64, error) {
+	if omegaM <= 0 || omegaM > 1 {
+		return 0, fmt.Errorf("cosmo: ΩM=%g outside (0, 1]", omegaM)
+	}
+	if z < 0 {
+		return 0, fmt.Errorf("cosmo: negative redshift %g", z)
+	}
+	a := 1 / (1 + z)
+	return growthUnnormalized(omegaM, a) / growthUnnormalized(omegaM, 1), nil
+}
+
+// growthUnnormalized integrates the growth integral by midpoint rule in a.
+func growthUnnormalized(omegaM, a float64) float64 {
+	omegaL := 1 - omegaM
+	e := func(a float64) float64 { return math.Sqrt(omegaM/(a*a*a) + omegaL) }
+	const steps = 2048
+	h := a / steps
+	var integral float64
+	for i := 0; i < steps; i++ {
+		am := (float64(i) + 0.5) * h
+		den := am * e(am)
+		integral += h / (den * den * den)
+	}
+	return 2.5 * omegaM * e(a) * integral
+}
+
+// SnapshotField scales a z=0 density field to redshift z by the linear
+// growth factor, producing the earlier, smoother snapshot of the same
+// realization (the same initial phases, lower amplitude).
+func SnapshotField(f *Field, omegaM, z float64) (*Field, error) {
+	d, err := GrowthFactor(omegaM, z)
+	if err != nil {
+		return nil, err
+	}
+	out := NewField(f.N, f.L)
+	for i, v := range f.Data {
+		out.Data[i] = v * d
+	}
+	return out, nil
+}
+
+// SimulateSnapshots runs the multi-redshift variant of Simulate: one set of
+// initial phases, evolved to each requested redshift, each snapshot
+// deposited and split, and the snapshots stacked as input channels — the
+// multi-snapshot network input of §VII-B. Redshifts must be given from
+// latest (smallest z) to earliest; z = 0 first is conventional.
+func (c SimConfig) SimulateSnapshots(p Params, redshifts []float64, seed int64) ([]*Sample, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if len(redshifts) == 0 {
+		return nil, fmt.Errorf("cosmo: no redshifts requested")
+	}
+	ps := NewPowerSpectrum(p)
+	delta0, err := GaussianField(c.NGrid, c.BoxSize, ps, seed)
+	if err != nil {
+		return nil, err
+	}
+
+	// Per snapshot: scale, evolve, deposit, split, preprocess.
+	perSnap := make([][]*VoxelGrid, len(redshifts))
+	for si, z := range redshifts {
+		delta, err := SnapshotField(delta0, p.OmegaM, z)
+		if err != nil {
+			return nil, err
+		}
+		parts, err := ZeldovichEvolve(delta)
+		if err != nil {
+			return nil, err
+		}
+		var grid *VoxelGrid
+		if c.UseCIC {
+			grid, err = DepositCIC(parts, c.NGrid/2)
+		} else {
+			grid, err = DepositNGP(parts, c.NGrid/2)
+		}
+		if err != nil {
+			return nil, err
+		}
+		subs, err := SplitSubVolumes(grid)
+		if err != nil {
+			return nil, err
+		}
+		for _, sub := range subs {
+			sub.LogTransform()
+			sub.Standardize()
+		}
+		perSnap[si] = subs
+	}
+
+	// Stack snapshots channel-major per octant.
+	target := c.Priors.Normalize(p)
+	dim := perSnap[0][0].M
+	voxPerChan := dim * dim * dim
+	samples := make([]*Sample, 0, 8)
+	for oct := 0; oct < 8; oct++ {
+		vox := make([]float32, len(redshifts)*voxPerChan)
+		for si := range redshifts {
+			copy(vox[si*voxPerChan:(si+1)*voxPerChan], perSnap[si][oct].Data)
+		}
+		samples = append(samples, &Sample{Dim: dim, Voxels: vox, Target: target})
+	}
+	return samples, nil
+}
+
+// NumChannels returns the number of input channels encoded in the sample's
+// voxel buffer (1 for single-snapshot samples, one per redshift for
+// multi-snapshot samples).
+func (s *Sample) NumChannels() int {
+	per := s.Dim * s.Dim * s.Dim
+	if per == 0 || len(s.Voxels)%per != 0 {
+		return 1
+	}
+	return len(s.Voxels) / per
+}

@@ -1,0 +1,134 @@
+package cosmo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGrowthFactorNormalization(t *testing.T) {
+	d, err := GrowthFactor(0.3089, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-1) > 1e-12 {
+		t.Errorf("D(z=0) = %v, want 1", d)
+	}
+}
+
+func TestGrowthFactorMonotoneDecline(t *testing.T) {
+	prev := 1.1
+	for _, z := range []float64{0, 0.5, 1, 2, 5, 10} {
+		d, err := GrowthFactor(0.3089, z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d >= prev {
+			t.Fatalf("D(z=%v) = %v not below D at lower z (%v)", z, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestGrowthFactorEinsteinDeSitterLimit(t *testing.T) {
+	// For ΩM = 1 (no dark energy), D ∝ a exactly: D(z) = 1/(1+z).
+	for _, z := range []float64{0.5, 1, 3} {
+		d, err := GrowthFactor(1.0, z)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 1 / (1 + z)
+		if math.Abs(d-want)/want > 1e-3 {
+			t.Errorf("EdS D(z=%v) = %v, want %v", z, d, want)
+		}
+	}
+}
+
+func TestGrowthFactorLCDMSuppression(t *testing.T) {
+	// With dark energy, growth is suppressed relative to EdS at late
+	// times: D_ΛCDM(z) > 1/(1+z) for z > 0 (the high-z universe is
+	// relatively more grown because growth stalls at late times).
+	d, _ := GrowthFactor(0.3089, 1)
+	if d <= 0.5 {
+		t.Errorf("ΛCDM D(z=1) = %v, want > EdS value 0.5", d)
+	}
+}
+
+func TestGrowthFactorValidation(t *testing.T) {
+	if _, err := GrowthFactor(0, 1); err == nil {
+		t.Error("ΩM=0 accepted")
+	}
+	if _, err := GrowthFactor(0.3, -1); err == nil {
+		t.Error("negative z accepted")
+	}
+}
+
+func TestSnapshotFieldScalesAmplitude(t *testing.T) {
+	ps := NewPowerSpectrum(Planck2015())
+	f, err := GaussianField(16, 32, ps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := SnapshotField(f, 0.3089, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := GrowthFactor(0.3089, 1)
+	ratio := snap.Std() / f.Std()
+	if math.Abs(ratio-d) > 1e-9 {
+		t.Errorf("snapshot amplitude ratio %v, want D(1) = %v", ratio, d)
+	}
+}
+
+func TestSimulateSnapshotsMultiChannel(t *testing.T) {
+	c := SimConfig{NGrid: 16, BoxSize: 32, Priors: DefaultPriors()}
+	redshifts := []float64{0, 1, 3}
+	samples, err := c.SimulateSnapshots(Planck2015(), redshifts, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 8 {
+		t.Fatalf("samples = %d", len(samples))
+	}
+	for _, s := range samples {
+		if s.NumChannels() != 3 {
+			t.Fatalf("channels = %d, want 3", s.NumChannels())
+		}
+		if len(s.Voxels) != 3*s.Dim*s.Dim*s.Dim {
+			t.Fatalf("voxel buffer %d", len(s.Voxels))
+		}
+	}
+}
+
+func TestSimulateSnapshotsSingleZMatchesSimulate(t *testing.T) {
+	c := SimConfig{NGrid: 16, BoxSize: 32, Priors: DefaultPriors()}
+	p := Planck2015()
+	a, err := c.Simulate(p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.SimulateSnapshots(p, []float64{0}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		for j := range a[i].Voxels {
+			if a[i].Voxels[j] != b[i].Voxels[j] {
+				t.Fatal("single-snapshot SimulateSnapshots should match Simulate")
+			}
+		}
+	}
+}
+
+func TestSimulateSnapshotsValidation(t *testing.T) {
+	c := SimConfig{NGrid: 16, BoxSize: 32, Priors: DefaultPriors()}
+	if _, err := c.SimulateSnapshots(Planck2015(), nil, 1); err == nil {
+		t.Error("empty redshift list accepted")
+	}
+}
+
+func TestNumChannelsSingle(t *testing.T) {
+	s := SyntheticSample(4, [3]float32{0.5, 0.5, 0.5}, 1)
+	if s.NumChannels() != 1 {
+		t.Errorf("channels = %d, want 1", s.NumChannels())
+	}
+}

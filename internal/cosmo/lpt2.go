@@ -1,0 +1,174 @@
+package cosmo
+
+import (
+	"math"
+
+	"repro/internal/fft"
+)
+
+// Second-order Lagrangian perturbation theory (2LPT) displacement.
+//
+// pycola — the paper's N-body engine (§IV-C) — implements the COLA scheme,
+// which time-steps residuals around a 2LPT trajectory. The Zel'dovich
+// approximation in nbody.go is the first-order term; this file adds the
+// second-order correction, bringing the synthetic substrate one order
+// closer to the paper's:
+//
+//	x = q + ψ⁽¹⁾(q) + ψ⁽²⁾(q)
+//	ψ⁽²⁾ = (3/7)·∇∇⁻² S⁽²⁾,  S⁽²⁾ = Σ_{i<j} (φ,ii·φ,jj − φ,ij²),  ∇²φ = δ
+//
+// The (3/7) factor is the Einstein-de-Sitter growth ratio D2/D1², accurate
+// to ~1% for realistic ΩM.
+
+// potentialHessian returns the six independent second derivatives of the
+// displacement potential φ (∇²φ = δ): order (xx, yy, zz, xy, xz, yz).
+func potentialHessian(delta *Field) ([6][]float64, error) {
+	n := delta.N
+	kf := 2 * math.Pi / delta.L
+	dk, err := fft.NewGrid3(n)
+	if err != nil {
+		return [6][]float64{}, err
+	}
+	for i, v := range delta.Data {
+		dk.Data[i] = complex(v, 0)
+	}
+	dk.Forward()
+
+	pairs := [6][2]int{{0, 0}, {1, 1}, {2, 2}, {0, 1}, {0, 2}, {1, 2}}
+	var out [6][]float64
+	for pi, pair := range pairs {
+		comp, err := fft.NewGrid3(n)
+		if err != nil {
+			return out, err
+		}
+		copy(comp.Data, dk.Data)
+		for z := 0; z < n; z++ {
+			kz := float64(fft.FreqIndex(z, n)) * kf
+			for y := 0; y < n; y++ {
+				ky := float64(fft.FreqIndex(y, n)) * kf
+				for x := 0; x < n; x++ {
+					kx := float64(fft.FreqIndex(x, n)) * kf
+					idx := comp.Index(z, y, x)
+					k2 := kx*kx + ky*ky + kz*kz
+					if k2 == 0 {
+						comp.Data[idx] = 0
+						continue
+					}
+					k := [3]float64{kx, ky, kz}
+					// φ,ij in Fourier space: (-k_i k_j / k²)·δ... with
+					// φ = ∇⁻²δ ⇒ φ(k) = -δ(k)/k², and ∂i∂j ⇒ ·(-k_i k_j):
+					// φ,ij(k) = (k_i k_j / k²)·δ(k).
+					comp.Data[idx] *= complex(k[pair[0]]*k[pair[1]]/k2, 0)
+				}
+			}
+		}
+		comp.Inverse()
+		h := make([]float64, n*n*n)
+		for i := range h {
+			h[i] = real(comp.Data[i])
+		}
+		out[pi] = h
+	}
+	return out, nil
+}
+
+// secondOrderSource computes S⁽²⁾ = φ,xx·φ,yy + φ,xx·φ,zz + φ,yy·φ,zz −
+// φ,xy² − φ,xz² − φ,yz² on the grid.
+func secondOrderSource(h [6][]float64) *Field {
+	n := len(h[0])
+	s := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xx, yy, zz := h[0][i], h[1][i], h[2][i]
+		xy, xz, yz := h[3][i], h[4][i], h[5][i]
+		s[i] = xx*yy + xx*zz + yy*zz - xy*xy - xz*xz - yz*yz
+	}
+	return &Field{Data: s}
+}
+
+// Evolve2LPT displaces one particle per cell by the Zel'dovich term plus
+// the 3/7-weighted second-order term.
+func Evolve2LPT(delta *Field) (*Particles, error) {
+	// First order.
+	first, err := ZeldovichEvolve(delta)
+	if err != nil {
+		return nil, err
+	}
+	// Second-order source and its displacement field.
+	h, err := potentialHessian(delta)
+	if err != nil {
+		return nil, err
+	}
+	src := secondOrderSource(h)
+	src.N = delta.N
+	src.L = delta.L
+	second, err := displacementFromSource(src)
+	if err != nil {
+		return nil, err
+	}
+	// ∇·Ψ⁽¹⁾ = −δ but ∇·Ψ⁽²⁾ = +(3/7)·S⁽²⁾ (Bouchet et al. 1995), so the
+	// second-order displacement carries the opposite sign of the
+	// inverse-gradient operator used for the first order.
+	const d2Ratio = 3.0 / 7.0
+	for i := range first.X {
+		first.X[i] = wrap(first.X[i]-d2Ratio*second[0][i], delta.L)
+		first.Y[i] = wrap(first.Y[i]-d2Ratio*second[1][i], delta.L)
+		first.Z[i] = wrap(first.Z[i]-d2Ratio*second[2][i], delta.L)
+	}
+	return first, nil
+}
+
+// displacementFromSource computes ψ_i = ∇_i ∇⁻² S for a scalar source, the
+// same inverse-Laplacian gradient used by the first-order term.
+func displacementFromSource(src *Field) ([3][]float64, error) {
+	n := src.N
+	kf := 2 * math.Pi / src.L
+	sk, err := fft.NewGrid3(n)
+	if err != nil {
+		return [3][]float64{}, err
+	}
+	for i, v := range src.Data {
+		sk.Data[i] = complex(v, 0)
+	}
+	sk.Forward()
+
+	var psi [3][]float64
+	for axis := 0; axis < 3; axis++ {
+		comp, err := fft.NewGrid3(n)
+		if err != nil {
+			return psi, err
+		}
+		copy(comp.Data, sk.Data)
+		for z := 0; z < n; z++ {
+			kz := float64(fft.FreqIndex(z, n)) * kf
+			for y := 0; y < n; y++ {
+				ky := float64(fft.FreqIndex(y, n)) * kf
+				for x := 0; x < n; x++ {
+					kx := float64(fft.FreqIndex(x, n)) * kf
+					idx := comp.Index(z, y, x)
+					k2 := kx*kx + ky*ky + kz*kz
+					if k2 == 0 {
+						comp.Data[idx] = 0
+						continue
+					}
+					var ki float64
+					switch axis {
+					case 0:
+						ki = kx
+					case 1:
+						ki = ky
+					default:
+						ki = kz
+					}
+					comp.Data[idx] *= complex(0, ki/k2)
+				}
+			}
+		}
+		comp.Inverse()
+		p := make([]float64, n*n*n)
+		for i := range p {
+			p[i] = real(comp.Data[i])
+		}
+		psi[axis] = p
+	}
+	return psi, nil
+}

@@ -1,0 +1,150 @@
+package cosmo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEvolve2LPTZeroFieldIsLattice(t *testing.T) {
+	f := NewField(8, 16)
+	parts, err := Evolve2LPT(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := f.L / float64(f.N)
+	i := 0
+	for z := 0; z < f.N; z++ {
+		for y := 0; y < f.N; y++ {
+			for x := 0; x < f.N; x++ {
+				if math.Abs(parts.X[i]-float64(x)*cell) > 1e-9 {
+					t.Fatalf("particle %d displaced by zero field", i)
+				}
+				i++
+			}
+		}
+	}
+}
+
+func TestEvolve2LPTVanishesForPlaneWave(t *testing.T) {
+	// For a 1D (plane-wave) perturbation the 2LPT source S⁽²⁾ is exactly
+	// zero (only φ,xx is nonzero, and S² contains no squared diagonal
+	// term), so 2LPT must coincide with Zel'dovich — a classic analytic
+	// check of second-order LPT implementations.
+	n := 16
+	f := NewField(n, 32)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				f.Data[f.Index(z, y, x)] = 0.3 * math.Cos(2*math.Pi*float64(x)/float64(n))
+			}
+		}
+	}
+	za, err := ZeldovichEvolve(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lpt, err := Evolve2LPT(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range za.X {
+		if math.Abs(za.X[i]-lpt.X[i]) > 1e-9 ||
+			math.Abs(za.Y[i]-lpt.Y[i]) > 1e-9 ||
+			math.Abs(za.Z[i]-lpt.Z[i]) > 1e-9 {
+			t.Fatalf("particle %d: 2LPT differs from ZA for a plane wave", i)
+		}
+	}
+}
+
+func TestEvolve2LPTQuadraticScaling(t *testing.T) {
+	// The defining property of the second-order term: scaling the density
+	// by a scales Ψ⁽¹⁾ by a but the 2LPT correction by a². Compare the
+	// 2LPT−ZA residual at two small amplitudes and require the ratio 4
+	// for a factor-2 amplitude change.
+	ps := NewPowerSpectrum(Planck2015())
+	base, err := GaussianField(16, 32, ps, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	residual := func(amp float64) float64 {
+		f := NewField(base.N, base.L)
+		for i, v := range base.Data {
+			f.Data[i] = v * amp
+		}
+		za, err := ZeldovichEvolve(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lpt, err := Evolve2LPT(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for i := range za.X {
+			for _, d := range []float64{za.X[i] - lpt.X[i], za.Y[i] - lpt.Y[i], za.Z[i] - lpt.Z[i]} {
+				if d > f.L/2 {
+					d -= f.L
+				}
+				if d < -f.L/2 {
+					d += f.L
+				}
+				sum += d * d
+			}
+		}
+		return math.Sqrt(sum / float64(3*za.Count()))
+	}
+	r1 := residual(0.01)
+	r2 := residual(0.02)
+	if r1 == 0 {
+		t.Fatal("2LPT identical to ZA for a generic 3D field")
+	}
+	ratio := r2 / r1
+	if math.Abs(ratio-4) > 0.1 {
+		t.Errorf("2LPT residual scaling = %v, want 4 (quadratic in amplitude)", ratio)
+	}
+}
+
+func TestEvolve2LPTParticlesValid(t *testing.T) {
+	ps := NewPowerSpectrum(Planck2015())
+	f, _ := GaussianField(16, 32, ps, 6)
+	parts, err := Evolve2LPT(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := parts.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if parts.Count() != 16*16*16 {
+		t.Errorf("count = %d", parts.Count())
+	}
+}
+
+func TestSecondOrderSourceSymmetricCollapse(t *testing.T) {
+	// For an isotropic 3D mode cos(kx)+cos(ky)+cos(kz), the Hessian is
+	// diagonal with equal-frequency components, so S⁽²⁾ is nonzero —
+	// sanity that the source picks up genuine 3D structure.
+	n := 8
+	f := NewField(n, 16)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				k := 2 * math.Pi / float64(n)
+				f.Data[f.Index(z, y, x)] = math.Cos(k*float64(x)) + math.Cos(k*float64(y)) + math.Cos(k*float64(z))
+			}
+		}
+	}
+	h, err := potentialHessian(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := secondOrderSource(h)
+	var maxAbs float64
+	for _, v := range src.Data {
+		if math.Abs(v) > maxAbs {
+			maxAbs = math.Abs(v)
+		}
+	}
+	if maxAbs == 0 {
+		t.Error("S⁽²⁾ identically zero for a 3D field")
+	}
+}

@@ -1,0 +1,126 @@
+package cosmo
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fft"
+)
+
+// Particles holds N³ particle positions in box coordinates [0, L).
+// Positions are stored as parallel coordinate slices to keep the memory
+// layout friendly to the deposit kernels.
+type Particles struct {
+	N       int // particles per dimension
+	L       float64
+	X, Y, Z []float64
+}
+
+// ZeldovichEvolve displaces one particle per grid cell from its Lagrangian
+// lattice position q by the Zel'dovich approximation displacement field
+// ψ(q) = ∇∇⁻²δ(q), computed in Fourier space as ψ⃗(k) = i k⃗/k² δ(k).
+//
+// COLA (the paper's N-body engine, §IV-C) is constructed so that its
+// large-scale behaviour reduces exactly to this analytic displacement; the
+// trade is that small-scale (halo-interior) structure is smoother. The
+// resulting voxel histograms retain the clumpiness statistics that respond
+// to (ΩM, σ8, ns), which is what the network learns from.
+func ZeldovichEvolve(delta *Field) (*Particles, error) {
+	n := delta.N
+	l := delta.L
+	kf := 2 * math.Pi / l
+
+	// Forward-transform the density once, then build each displacement
+	// component.
+	dk, err := fft.NewGrid3(n)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range delta.Data {
+		dk.Data[i] = complex(v, 0)
+	}
+	dk.Forward()
+
+	psi := make([][]float64, 3)
+	for axis := 0; axis < 3; axis++ {
+		comp, err := fft.NewGrid3(n)
+		if err != nil {
+			return nil, err
+		}
+		copy(comp.Data, dk.Data)
+		for z := 0; z < n; z++ {
+			kz := float64(fft.FreqIndex(z, n)) * kf
+			for y := 0; y < n; y++ {
+				ky := float64(fft.FreqIndex(y, n)) * kf
+				for x := 0; x < n; x++ {
+					kx := float64(fft.FreqIndex(x, n)) * kf
+					idx := comp.Index(z, y, x)
+					k2 := kx*kx + ky*ky + kz*kz
+					if k2 == 0 {
+						comp.Data[idx] = 0
+						continue
+					}
+					var ki float64
+					switch axis {
+					case 0:
+						ki = kx
+					case 1:
+						ki = ky
+					default:
+						ki = kz
+					}
+					// ψ_i(k) = i·k_i/k² · δ(k)
+					comp.Data[idx] *= complex(0, ki/k2)
+				}
+			}
+		}
+		comp.Inverse()
+		p := make([]float64, n*n*n)
+		for i := range p {
+			p[i] = real(comp.Data[i])
+		}
+		psi[axis] = p
+	}
+
+	cell := l / float64(n)
+	parts := &Particles{
+		N: n, L: l,
+		X: make([]float64, n*n*n),
+		Y: make([]float64, n*n*n),
+		Z: make([]float64, n*n*n),
+	}
+	i := 0
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				parts.X[i] = wrap(float64(x)*cell+psi[0][i], l)
+				parts.Y[i] = wrap(float64(y)*cell+psi[1][i], l)
+				parts.Z[i] = wrap(float64(z)*cell+psi[2][i], l)
+				i++
+			}
+		}
+	}
+	return parts, nil
+}
+
+// wrap maps v into the periodic interval [0, l).
+func wrap(v, l float64) float64 {
+	v = math.Mod(v, l)
+	if v < 0 {
+		v += l
+	}
+	return v
+}
+
+// Count returns the total number of particles.
+func (p *Particles) Count() int { return len(p.X) }
+
+// Validate checks that all positions lie in [0, L).
+func (p *Particles) Validate() error {
+	for i := range p.X {
+		if p.X[i] < 0 || p.X[i] >= p.L || p.Y[i] < 0 || p.Y[i] >= p.L || p.Z[i] < 0 || p.Z[i] >= p.L {
+			return fmt.Errorf("cosmo: particle %d outside box: (%g, %g, %g)", i, p.X[i], p.Y[i], p.Z[i])
+		}
+	}
+	return nil
+}

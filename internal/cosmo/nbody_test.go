@@ -1,0 +1,229 @@
+package cosmo
+
+import (
+	"math"
+	"testing"
+)
+
+func testField(t *testing.T, n int, seed int64) *Field {
+	t.Helper()
+	ps := NewPowerSpectrum(Planck2015())
+	f, err := GaussianField(n, float64(n)*2, ps, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestZeldovichParticleCountAndBounds(t *testing.T) {
+	f := testField(t, 16, 11)
+	parts, err := ZeldovichEvolve(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parts.Count() != 16*16*16 {
+		t.Fatalf("count = %d, want %d", parts.Count(), 16*16*16)
+	}
+	if err := parts.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeldovichZeroFieldLeavesLattice(t *testing.T) {
+	f := NewField(8, 16)
+	parts, err := ZeldovichEvolve(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := f.L / float64(f.N)
+	i := 0
+	for z := 0; z < f.N; z++ {
+		for y := 0; y < f.N; y++ {
+			for x := 0; x < f.N; x++ {
+				if math.Abs(parts.X[i]-float64(x)*cell) > 1e-9 ||
+					math.Abs(parts.Y[i]-float64(y)*cell) > 1e-9 ||
+					math.Abs(parts.Z[i]-float64(z)*cell) > 1e-9 {
+					t.Fatalf("particle %d displaced by zero field", i)
+				}
+				i++
+			}
+		}
+	}
+}
+
+func TestZeldovichMatchesAnalyticCosine(t *testing.T) {
+	// For a single-mode density δ(x) = cos(kx) the Zel'dovich displacement
+	// is exactly ψ(x) = -sin(kx)/k: particles converge onto the density
+	// peak, as linear continuity δ = -∇·ψ requires.
+	n := 16
+	f := NewField(n, 32)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				f.Data[f.Index(z, y, x)] = math.Cos(2 * math.Pi * float64(x) / float64(n))
+			}
+		}
+	}
+	parts, err := ZeldovichEvolve(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell := f.L / float64(n)
+	k := 2 * math.Pi / f.L
+	for xi := 0; xi < n; xi++ {
+		disp := parts.X[xi] - float64(xi)*cell
+		if disp > f.L/2 {
+			disp -= f.L
+		}
+		if disp < -f.L/2 {
+			disp += f.L
+		}
+		analytic := -math.Sin(k*float64(xi)*cell) / k
+		if math.Abs(disp-analytic) > 1e-9 {
+			t.Fatalf("x=%d: displacement %v, analytic %v", xi, disp, analytic)
+		}
+		// Y and Z must be untouched by an x-only mode.
+		if math.Abs(parts.Y[xi]-0) > 1e-9 || math.Abs(parts.Z[xi]-0) > 1e-9 {
+			t.Fatalf("x=%d: transverse displacement leaked", xi)
+		}
+	}
+}
+
+func TestWrap(t *testing.T) {
+	cases := []struct{ v, l, want float64 }{
+		{5, 10, 5},
+		{-1, 10, 9},
+		{10, 10, 0},
+		{23, 10, 3},
+		{-13, 10, 7},
+	}
+	for _, c := range cases {
+		if got := wrap(c.v, c.l); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("wrap(%v, %v) = %v, want %v", c.v, c.l, got, c.want)
+		}
+	}
+}
+
+func TestDepositNGPMassConservation(t *testing.T) {
+	f := testField(t, 16, 21)
+	parts, _ := ZeldovichEvolve(f)
+	g, err := DepositNGP(parts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Total(); math.Abs(got-float64(parts.Count())) > 1e-6 {
+		t.Errorf("NGP total mass = %v, want %d", got, parts.Count())
+	}
+}
+
+func TestDepositCICMassConservation(t *testing.T) {
+	f := testField(t, 16, 22)
+	parts, _ := ZeldovichEvolve(f)
+	g, err := DepositCIC(parts, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.Total(); math.Abs(got-float64(parts.Count())) > 1e-3 {
+		t.Errorf("CIC total mass = %v, want %d", got, parts.Count())
+	}
+}
+
+func TestDepositUniformLatticeIsFlat(t *testing.T) {
+	// Undisplaced lattice particles with N a multiple of M give an exactly
+	// uniform histogram.
+	f := NewField(16, 32)
+	parts, _ := ZeldovichEvolve(f)
+	g, _ := DepositNGP(parts, 8)
+	want := float32(16 * 16 * 16 / (8 * 8 * 8))
+	for i, v := range g.Data {
+		if v != want {
+			t.Fatalf("voxel %d = %v, want %v", i, v, want)
+		}
+	}
+}
+
+func TestSplitSubVolumes(t *testing.T) {
+	g := NewVoxelGrid(4)
+	for i := range g.Data {
+		g.Data[i] = float32(i)
+	}
+	subs, err := SplitSubVolumes(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 8 {
+		t.Fatalf("got %d sub-volumes, want 8", len(subs))
+	}
+	// Octant (0,0,0) must contain g's low corner.
+	if subs[0].At000() != g.Data[g.Index(0, 0, 0)] {
+		t.Error("first octant does not start at origin")
+	}
+	// Octant (1,1,1) (last) must contain the high corner.
+	last := subs[7]
+	if last.Data[last.Index(1, 1, 1)] != g.Data[g.Index(3, 3, 3)] {
+		t.Error("last octant does not end at the high corner")
+	}
+	// Total mass is preserved across the split.
+	var total float64
+	for _, s := range subs {
+		total += s.Total()
+	}
+	if math.Abs(total-g.Total()) > 1e-6 {
+		t.Errorf("split total = %v, want %v", total, g.Total())
+	}
+}
+
+// At000 reads voxel (0,0,0); test helper.
+func (v *VoxelGrid) At000() float32 { return v.Data[0] }
+
+func TestSplitOddGridFails(t *testing.T) {
+	if _, err := SplitSubVolumes(NewVoxelGrid(5)); err == nil {
+		t.Error("odd grid split should fail")
+	}
+}
+
+func TestLogTransformAndStandardize(t *testing.T) {
+	g := NewVoxelGrid(2)
+	for i := range g.Data {
+		g.Data[i] = float32(i)
+	}
+	g.LogTransform()
+	if math.Abs(float64(g.Data[0])) > 1e-7 {
+		t.Errorf("log1p(0) = %v", g.Data[0])
+	}
+	if math.Abs(float64(g.Data[1])-math.Log(2)) > 1e-6 {
+		t.Errorf("log1p(1) = %v, want ln 2", g.Data[1])
+	}
+	mean, std := g.Standardize()
+	if std <= 0 {
+		t.Fatalf("std = %v", std)
+	}
+	var m, s float64
+	for _, v := range g.Data {
+		m += float64(v)
+	}
+	m /= float64(len(g.Data))
+	for _, v := range g.Data {
+		s += (float64(v) - m) * (float64(v) - m)
+	}
+	s = math.Sqrt(s / float64(len(g.Data)))
+	if math.Abs(m) > 1e-6 || math.Abs(s-1) > 1e-5 {
+		t.Errorf("after standardize: mean=%v std=%v (original mean=%v std=%v)", m, s, mean, std)
+	}
+}
+
+func TestStandardizeConstantGrid(t *testing.T) {
+	g := NewVoxelGrid(2)
+	for i := range g.Data {
+		g.Data[i] = 5
+	}
+	mean, std := g.Standardize()
+	if mean != 5 || std != 0 {
+		t.Errorf("mean=%v std=%v, want 5, 0", mean, std)
+	}
+	for _, v := range g.Data {
+		if v != 0 {
+			t.Fatal("constant grid should standardize to zeros")
+		}
+	}
+}

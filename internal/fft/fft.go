@@ -1,0 +1,191 @@
+// Package fft implements radix-2 Cooley-Tukey fast Fourier transforms in one
+// and three dimensions.
+//
+// The cosmology data generator (internal/cosmo) needs 3D FFTs to synthesize
+// Gaussian random density fields with a prescribed power spectrum and to
+// compute Zel'dovich displacement fields; the statistics baseline
+// (internal/stats) needs them to estimate power spectra. All transforms are
+// unnormalized forward (sign -1 exponent) with Inverse applying the 1/N
+// factor, matching the numpy.fft convention the paper's pipeline relies on.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// Plan holds precomputed twiddle factors and the bit-reversal permutation for
+// a fixed power-of-two transform length. Plans are cheap to reuse and safe
+// for concurrent use by multiple goroutines once created.
+type Plan struct {
+	n       int
+	logn    int
+	rev     []int
+	twiddle []complex128 // forward twiddles, n/2 entries
+}
+
+// NewPlan creates a plan for length n, which must be a power of two >= 1.
+func NewPlan(n int) (*Plan, error) {
+	if n < 1 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("fft: length %d is not a positive power of two", n)
+	}
+	logn := bits.TrailingZeros(uint(n))
+	p := &Plan{n: n, logn: logn}
+	p.rev = make([]int, n)
+	for i := 0; i < n; i++ {
+		p.rev[i] = int(bits.Reverse(uint(i)) >> (bits.UintSize - logn))
+	}
+	p.twiddle = make([]complex128, n/2)
+	for k := 0; k < n/2; k++ {
+		angle := -2 * math.Pi * float64(k) / float64(n)
+		p.twiddle[k] = cmplx.Exp(complex(0, angle))
+	}
+	return p, nil
+}
+
+// MustPlan is NewPlan that panics on error, for statically valid sizes.
+func MustPlan(n int) *Plan {
+	p, err := NewPlan(n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Len returns the transform length.
+func (p *Plan) Len() int { return p.n }
+
+// Forward computes the in-place forward DFT of x, which must have length
+// Len(). The transform is unnormalized: X[k] = sum_j x[j] e^{-2πi jk/n}.
+func (p *Plan) Forward(x []complex128) {
+	p.transform(x, false)
+}
+
+// Inverse computes the in-place inverse DFT of x, including the 1/n factor,
+// so that Inverse(Forward(x)) == x up to rounding.
+func (p *Plan) Inverse(x []complex128) {
+	p.transform(x, true)
+	inv := 1 / float64(p.n)
+	for i := range x {
+		x[i] *= complex(inv, 0)
+	}
+}
+
+func (p *Plan) transform(x []complex128, inverse bool) {
+	n := p.n
+	if len(x) != n {
+		panic(fmt.Sprintf("fft: input length %d does not match plan length %d", len(x), n))
+	}
+	if n == 1 {
+		return
+	}
+	// Bit-reversal permutation.
+	for i, j := range p.rev {
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Iterative Danielson-Lanczos butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		step := n / size
+		for start := 0; start < n; start += size {
+			for k := 0; k < half; k++ {
+				w := p.twiddle[k*step]
+				if inverse {
+					w = cmplx.Conj(w)
+				}
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+}
+
+// Grid3 is an in-memory complex 3D grid of extent N³ stored row-major as
+// [z][y][x]. It carries the plans needed to transform itself.
+type Grid3 struct {
+	N    int
+	Data []complex128
+	plan *Plan
+}
+
+// NewGrid3 allocates a zeroed N³ complex grid; N must be a power of two.
+func NewGrid3(n int) (*Grid3, error) {
+	p, err := NewPlan(n)
+	if err != nil {
+		return nil, err
+	}
+	return &Grid3{N: n, Data: make([]complex128, n*n*n), plan: p}, nil
+}
+
+// Index returns the flat offset of grid point (z, y, x).
+func (g *Grid3) Index(z, y, x int) int { return (z*g.N+y)*g.N + x }
+
+// Forward applies the forward DFT along all three axes in place.
+func (g *Grid3) Forward() { g.transform(false) }
+
+// Inverse applies the normalized inverse DFT along all three axes in place.
+func (g *Grid3) Inverse() { g.transform(true) }
+
+func (g *Grid3) transform(inverse bool) {
+	n := g.N
+	buf := make([]complex128, n)
+	apply := func(v []complex128) {
+		if inverse {
+			g.plan.Inverse(v)
+		} else {
+			g.plan.Forward(v)
+		}
+	}
+	// Axis x: contiguous rows.
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			row := g.Data[g.Index(z, y, 0) : g.Index(z, y, 0)+n]
+			apply(row)
+		}
+	}
+	// Axis y: stride n.
+	for z := 0; z < n; z++ {
+		for x := 0; x < n; x++ {
+			base := g.Index(z, 0, x)
+			for y := 0; y < n; y++ {
+				buf[y] = g.Data[base+y*n]
+			}
+			apply(buf)
+			for y := 0; y < n; y++ {
+				g.Data[base+y*n] = buf[y]
+			}
+		}
+	}
+	// Axis z: stride n².
+	n2 := n * n
+	for y := 0; y < n; y++ {
+		for x := 0; x < n; x++ {
+			base := g.Index(0, y, x)
+			for z := 0; z < n; z++ {
+				buf[z] = g.Data[base+z*n2]
+			}
+			apply(buf)
+			for z := 0; z < n; z++ {
+				g.Data[base+z*n2] = buf[z]
+			}
+		}
+	}
+}
+
+// FreqIndex maps a grid index i in [0, n) to its signed frequency in
+// [-n/2, n/2), matching numpy.fft.fftfreq multiplied by n.
+func FreqIndex(i, n int) int {
+	if i <= n/2 {
+		if i == n/2 {
+			return -n / 2
+		}
+		return i
+	}
+	return i - n
+}

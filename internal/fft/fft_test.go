@@ -1,0 +1,240 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPlanRejectsNonPowerOfTwo(t *testing.T) {
+	for _, n := range []int{0, -4, 3, 6, 12, 100} {
+		if _, err := NewPlan(n); err == nil {
+			t.Errorf("NewPlan(%d) succeeded, want error", n)
+		}
+	}
+	for _, n := range []int{1, 2, 4, 8, 1024} {
+		if _, err := NewPlan(n); err != nil {
+			t.Errorf("NewPlan(%d): %v", n, err)
+		}
+	}
+}
+
+// naiveDFT is the O(n²) reference implementation.
+func naiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for j := 0; j < n; j++ {
+			angle := -2 * math.Pi * float64(j) * float64(k) / float64(n)
+			s += x[j] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = s
+	}
+	return out
+}
+
+func TestForwardMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 16, 64} {
+		p := MustPlan(n)
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		want := naiveDFT(x)
+		got := append([]complex128(nil), x...)
+		p.Forward(got)
+		for i := range got {
+			if cmplx.Abs(got[i]-want[i]) > 1e-9*(1+cmplx.Abs(want[i])) {
+				t.Fatalf("n=%d: bin %d = %v, want %v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{2, 8, 128, 512} {
+		p := MustPlan(n)
+		x := make([]complex128, n)
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		orig := append([]complex128(nil), x...)
+		p.Forward(x)
+		p.Inverse(x)
+		for i := range x {
+			if cmplx.Abs(x[i]-orig[i]) > 1e-10 {
+				t.Fatalf("n=%d: round trip error at %d: %v vs %v", n, i, x[i], orig[i])
+			}
+		}
+	}
+}
+
+func TestParseval(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << (1 + rng.Intn(8))
+		p := MustPlan(n)
+		x := make([]complex128, n)
+		var timeEnergy float64
+		for i := range x {
+			x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+			timeEnergy += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		}
+		p.Forward(x)
+		var freqEnergy float64
+		for _, v := range x {
+			freqEnergy += real(v)*real(v) + imag(v)*imag(v)
+		}
+		freqEnergy /= float64(n)
+		return math.Abs(timeEnergy-freqEnergy) <= 1e-8*(1+timeEnergy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestImpulseIsFlat(t *testing.T) {
+	p := MustPlan(16)
+	x := make([]complex128, 16)
+	x[0] = 1
+	p.Forward(x)
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("impulse DFT bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestConstantIsDelta(t *testing.T) {
+	n := 32
+	p := MustPlan(n)
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = 2
+	}
+	p.Forward(x)
+	if cmplx.Abs(x[0]-complex(2*float64(n), 0)) > 1e-9 {
+		t.Errorf("DC bin = %v, want %d", x[0], 2*n)
+	}
+	for i := 1; i < n; i++ {
+		if cmplx.Abs(x[i]) > 1e-9 {
+			t.Errorf("bin %d = %v, want 0", i, x[i])
+		}
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 64
+	p := MustPlan(n)
+	a := make([]complex128, n)
+	b := make([]complex128, n)
+	sum := make([]complex128, n)
+	for i := range a {
+		a[i] = complex(rng.NormFloat64(), 0)
+		b[i] = complex(rng.NormFloat64(), 0)
+		sum[i] = 3*a[i] + 2*b[i]
+	}
+	p.Forward(a)
+	p.Forward(b)
+	p.Forward(sum)
+	for i := range sum {
+		want := 3*a[i] + 2*b[i]
+		if cmplx.Abs(sum[i]-want) > 1e-9*(1+cmplx.Abs(want)) {
+			t.Fatalf("linearity violated at bin %d", i)
+		}
+	}
+}
+
+func TestGrid3RoundTrip(t *testing.T) {
+	g, err := NewGrid3(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	orig := make([]complex128, len(g.Data))
+	for i := range g.Data {
+		g.Data[i] = complex(rng.NormFloat64(), 0)
+		orig[i] = g.Data[i]
+	}
+	g.Forward()
+	g.Inverse()
+	for i := range g.Data {
+		if cmplx.Abs(g.Data[i]-orig[i]) > 1e-10 {
+			t.Fatalf("grid round trip error at %d", i)
+		}
+	}
+}
+
+func TestGrid3SeparableMode(t *testing.T) {
+	// A single plane wave e^{2πi(kx x)/n} must transform to one delta bin.
+	n := 8
+	g, _ := NewGrid3(n)
+	kx := 3
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				angle := 2 * math.Pi * float64(kx*x) / float64(n)
+				g.Data[g.Index(z, y, x)] = cmplx.Exp(complex(0, angle))
+			}
+		}
+	}
+	g.Forward()
+	want := complex(float64(n*n*n), 0)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				v := g.Data[g.Index(z, y, x)]
+				if z == 0 && y == 0 && x == kx {
+					if cmplx.Abs(v-want) > 1e-6*cmplx.Abs(want) {
+						t.Fatalf("mode bin = %v, want %v", v, want)
+					}
+				} else if cmplx.Abs(v) > 1e-6 {
+					t.Fatalf("leakage at (%d,%d,%d): %v", z, y, x, v)
+				}
+			}
+		}
+	}
+}
+
+func TestFreqIndex(t *testing.T) {
+	n := 8
+	want := []int{0, 1, 2, 3, -4, -3, -2, -1}
+	for i := 0; i < n; i++ {
+		if got := FreqIndex(i, n); got != want[i] {
+			t.Errorf("FreqIndex(%d,%d) = %d, want %d", i, n, got, want[i])
+		}
+	}
+}
+
+func BenchmarkFFT1D_1024(b *testing.B) {
+	p := MustPlan(1024)
+	x := make([]complex128, 1024)
+	rng := rand.New(rand.NewSource(5))
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Forward(x)
+	}
+}
+
+func BenchmarkFFT3D_32(b *testing.B) {
+	g, _ := NewGrid3(32)
+	rng := rand.New(rand.NewSource(6))
+	for i := range g.Data {
+		g.Data[i] = complex(rng.NormFloat64(), 0)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Forward()
+	}
+}

@@ -1,0 +1,195 @@
+package hpcsim
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// within asserts |got−want|/want ≤ tol.
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if want == 0 {
+		t.Fatalf("%s: zero reference", name)
+	}
+	if math.Abs(got-want)/math.Abs(want) > tol {
+		t.Errorf("%s = %g, want %g (±%.0f%%)", name, got, want, 100*tol)
+	}
+}
+
+func TestCoriSingleNodeConstants(t *testing.T) {
+	m := Cori()
+	// 535 Gflop/s single-node sustained (§V-B).
+	rate := m.FlopsPerSample / m.StepCompute.Seconds()
+	within(t, "single-node Gflop/s", rate/1e9, 535, 0.01)
+	// Equation 1: 62 MB/s minimum read bandwidth (§VI-A).
+	within(t, "BWmin MB/s", m.BWMin()/1e6, 62, 0.01)
+}
+
+func TestPizDaintSingleNodeConstants(t *testing.T) {
+	m := PizDaint()
+	rate := m.FlopsPerSample / m.StepCompute.Seconds()
+	within(t, "Piz Daint Gflop/s", rate/1e9, 388, 0.01)
+}
+
+func TestCommBandwidthMatchesPaperMeasurements(t *testing.T) {
+	m := Cori()
+	// §VI-B: 1.7 GB/s/node at 1024 nodes, 1.42 GB/s/node at 8192.
+	within(t, "comm BW @1024", m.CommBandwidth(1024)/1e9, 1.7, 0.02)
+	within(t, "comm BW @8192", m.CommBandwidth(8192)/1e9, 1.42, 0.02)
+	// §VI-B: 33 ms aggregation latency at 1024 nodes.
+	within(t, "comm latency @1024 (ms)",
+		float64(m.CommTime(1024))/float64(time.Millisecond), 33, 0.05)
+}
+
+func TestStepTimesMatchPaper(t *testing.T) {
+	m := Cori()
+	bb := CoriDataWarp()
+	// §VI-B: 162 ms step at 1024 nodes and 168 ms at 8192, from DataWarp.
+	s1024, io1024 := m.StepTime(bb, 1024)
+	within(t, "step @1024 (ms)", float64(s1024)/float64(time.Millisecond), 162, 0.05)
+	if io1024 {
+		t.Error("burst-buffer run must not be IO bound at 1024 nodes")
+	}
+	s8192, _ := m.StepTime(bb, 8192)
+	within(t, "step @8192 (ms)", float64(s8192)/float64(time.Millisecond), 168, 0.05)
+}
+
+func TestFig4CoriBurstBufferEfficiency(t *testing.T) {
+	// Headline result: 77% parallel efficiency at 8192 nodes (§V-D).
+	res := Simulate(Cori(), CoriDataWarp(), 8192, 8192*20)
+	if res.Efficiency < 0.72 || res.Efficiency > 0.82 {
+		t.Errorf("efficiency @8192 = %.1f%%, paper reports 77%%", 100*res.Efficiency)
+	}
+	// 3.5 Pflop/s sustained (§I-C, §V-D).
+	within(t, "aggregate Pflop/s @8192", res.AggregateFlops/1e15, 3.5, 0.08)
+	// ~3.35 s epochs with 20 samples per rank (§V-D).
+	within(t, "epoch time @8192 (s)", res.EpochTime.Seconds(), 3.35, 0.06)
+}
+
+func TestFig4CoriLustreCollapse(t *testing.T) {
+	m := Cori()
+	fs := CoriLustre()
+	// §VI-A: 179 ms step at 128 ranks on Lustre (IO bound)...
+	s128, ioBound := m.StepTime(fs, 128)
+	within(t, "Lustre step @128 (ms)", float64(s128)/float64(time.Millisecond), 179, 0.03)
+	if !ioBound {
+		t.Error("Lustre at 128 ranks should be IO bound")
+	}
+	// ...which is ~16% worse than DataWarp's 150 ms at the same scale.
+	sBB, _ := m.StepTime(CoriDataWarp(), 128)
+	ratio := float64(s128) / float64(sBB)
+	if ratio < 1.1 || ratio > 1.35 {
+		t.Errorf("Lustre/DataWarp step ratio @128 = %.2f, paper reports ~16%% gain", ratio)
+	}
+	// Fig. 4: efficiency below 58% at 1024 nodes on Lustre.
+	res := Simulate(m, fs, 1024, 1024*20)
+	if res.Efficiency >= 0.60 {
+		t.Errorf("Lustre efficiency @1024 = %.1f%%, paper reports <58%%", 100*res.Efficiency)
+	}
+	// And the burst buffer strictly dominates Lustre at every scale.
+	for _, n := range Fig4NodeCounts() {
+		l := Simulate(m, fs, n, n*20)
+		b := Simulate(m, CoriDataWarp(), n, n*20)
+		if l.Efficiency > b.Efficiency+1e-9 {
+			t.Errorf("n=%d: Lustre efficiency %.1f%% exceeds DataWarp %.1f%%",
+				n, 100*l.Efficiency, 100*b.Efficiency)
+		}
+	}
+}
+
+func TestFig4PizDaintLustre(t *testing.T) {
+	// §V-C2: scaling efficiency drops to 44% at 512 nodes on Piz Daint's
+	// Lustre.
+	res := Simulate(PizDaint(), PizDaintLustre(), 512, 512*20)
+	if res.Efficiency < 0.38 || res.Efficiency > 0.52 {
+		t.Errorf("Piz Daint Lustre efficiency @512 = %.1f%%, paper reports 44%%", 100*res.Efficiency)
+	}
+	if !res.IOBound {
+		t.Error("Piz Daint at 512 should be IO bound")
+	}
+}
+
+func TestEfficiencyMonotoneDeclines(t *testing.T) {
+	// Fully synchronous scaling can only lose efficiency with node count.
+	for _, fs := range []Filesystem{CoriDataWarp(), CoriLustre(), Unthrottled()} {
+		prev := 1.01
+		for _, n := range Fig4NodeCounts() {
+			res := Simulate(Cori(), fs, n, n*20)
+			if res.Efficiency > prev+1e-9 {
+				t.Errorf("%s: efficiency rose at n=%d (%.3f > %.3f)", fs.Name, n, res.Efficiency, prev)
+			}
+			prev = res.Efficiency
+		}
+	}
+}
+
+func TestSingleNodeIsBaseline(t *testing.T) {
+	res := Simulate(Cori(), CoriDataWarp(), 1, 128)
+	if res.Speedup != 1 || res.Efficiency != 1 {
+		t.Errorf("single node speedup/eff = %v/%v, want 1/1", res.Speedup, res.Efficiency)
+	}
+	if res.CommTime != 0 || res.Straggler != 0 {
+		t.Error("single node must have no comm or straggler cost")
+	}
+}
+
+func TestDummyDataRemovesIOBound(t *testing.T) {
+	// The paper's dummy-data experiment (§V-C1) showed I/O caused the
+	// Lustre scaling drop: with an unthrottled source the drop disappears.
+	lustre := Simulate(Cori(), CoriLustre(), 2048, 2048*20)
+	dummy := Simulate(Cori(), Unthrottled(), 2048, 2048*20)
+	if !lustre.IOBound {
+		t.Error("Lustre @2048 should be IO bound")
+	}
+	if dummy.IOBound {
+		t.Error("dummy data must not be IO bound")
+	}
+	if dummy.Efficiency <= lustre.Efficiency {
+		t.Error("removing IO throttle must improve efficiency")
+	}
+}
+
+func TestEquation1OSTFeedCount(t *testing.T) {
+	// §VI-A: at 2.8 GB/s per OST and 62 MB/s per node, one OST can feed
+	// ~46 nodes.
+	m := Cori()
+	nodesPerOST := 2.8e9 / m.BWMin()
+	within(t, "nodes per OST", nodesPerOST, 46, 0.03)
+}
+
+func TestStragglerPenaltyGrowsSlowly(t *testing.T) {
+	m := Cori()
+	p1k := m.StragglerPenalty(1024)
+	p8k := m.StragglerPenalty(8192)
+	if p8k <= p1k {
+		t.Error("straggler penalty must grow with node count")
+	}
+	if p8k > 5*time.Millisecond {
+		t.Errorf("hidden straggler penalty %v too large; plugin hides most of it", p8k)
+	}
+	// Ablation: without helper-thread hiding the penalty is substantial.
+	m.HelperHiding = 0
+	if m.StragglerPenalty(8192) < 5*time.Millisecond {
+		t.Error("unhidden straggler penalty should be significant")
+	}
+}
+
+func TestSweepAndFormat(t *testing.T) {
+	ms := Sweep(Cori(), CoriDataWarp(), Fig4NodeCounts(), 99456)
+	if len(ms) != len(Fig4NodeCounts()) {
+		t.Fatalf("sweep length %d", len(ms))
+	}
+	s := FormatSweep(Cori(), CoriDataWarp(), ms)
+	if !strings.Contains(s, "8192") || !strings.Contains(s, "Cori") {
+		t.Errorf("sweep table malformed:\n%s", s)
+	}
+}
+
+func TestSimulateClampsTotalSamples(t *testing.T) {
+	res := Simulate(Cori(), CoriDataWarp(), 64, 3)
+	if res.EpochTime <= 0 {
+		t.Error("epoch time must stay positive when samples < nodes")
+	}
+}

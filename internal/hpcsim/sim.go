@@ -1,0 +1,148 @@
+package hpcsim
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// Metrics summarizes a simulated run at one node count.
+type Metrics struct {
+	Nodes      int
+	StepTime   time.Duration // per-step wall time at scale
+	CommTime   time.Duration // gradient allreduce latency per step
+	IOTime     time.Duration // per-sample read time (overlapped with compute)
+	Straggler  time.Duration // residual straggler penalty per step
+	EpochTime  time.Duration // (totalSamples/nodes) steps
+	Speedup    float64       // epoch-time speedup vs one node
+	Efficiency float64       // Speedup / Nodes
+	// CommBWPerNode is the effective allreduce bandwidth per node (§VI-B).
+	CommBWPerNode float64
+	// AggregateFlops is the sustained Flop/s across the machine (§V-D).
+	AggregateFlops float64
+	// IOBound reports whether the step time is limited by filesystem reads.
+	IOBound bool
+}
+
+// CommBandwidth returns the modeled effective per-node allreduce bandwidth
+// at the given node count.
+func (m Machine) CommBandwidth(nodes int) float64 {
+	if nodes <= 1 {
+		return math.Inf(1)
+	}
+	return m.CommB0 / (1 + m.CommGamma*math.Log2(float64(nodes)))
+}
+
+// CommTime returns the per-step gradient aggregation latency: the ring
+// algorithm moves twice the message length at large n (§VI-B).
+func (m Machine) CommTime(nodes int) time.Duration {
+	if nodes <= 1 {
+		return 0
+	}
+	sec := 2 * m.GradBytes / m.CommBandwidth(nodes)
+	return time.Duration(sec * float64(time.Second))
+}
+
+// IOTime returns the per-sample read latency from fs at the given scale:
+// Equation 1 with the filesystem's contended per-node bandwidth.
+func (m Machine) IOTime(fs Filesystem, nodes int) time.Duration {
+	return time.Duration(m.SampleBytes / fs.BWPerNode(nodes) * float64(time.Second))
+}
+
+// StragglerPenalty returns the residual slow-node penalty after the
+// plugin's non-blocking pipeline hides HelperHiding of it. The max of n
+// i.i.d. Gaussian step perturbations grows like σ·sqrt(2·ln n).
+func (m Machine) StragglerPenalty(nodes int) time.Duration {
+	if nodes <= 1 {
+		return 0
+	}
+	raw := float64(m.StragglerSigma) * math.Sqrt(2*math.Log(float64(nodes)))
+	return time.Duration(raw * (1 - m.HelperHiding))
+}
+
+// BWMin returns Equation 1's minimum per-node read bandwidth needed to hide
+// I/O behind compute: b·S/t with b = 1 (§VI-A; 62 MB/s for Cori).
+func (m Machine) BWMin() float64 {
+	return m.SampleBytes / m.StepCompute.Seconds()
+}
+
+// StepTime returns the per-step wall time at scale: compute plus
+// communication plus residual straggler, unless the prefetch pipeline
+// cannot keep up, in which case reads dominate (§VI-A).
+func (m Machine) StepTime(fs Filesystem, nodes int) (step time.Duration, ioBound bool) {
+	compute := m.StepCompute + m.CommTime(nodes) + m.StragglerPenalty(nodes)
+	io := m.IOTime(fs, nodes)
+	if io > compute {
+		return io, true
+	}
+	return compute, false
+}
+
+// Simulate models one configuration. totalSamples is the global training
+// set size per epoch; each node processes totalSamples/nodes samples
+// (Niters = Nsamples/nranks, §V-A).
+func Simulate(m Machine, fs Filesystem, nodes, totalSamples int) Metrics {
+	if nodes < 1 {
+		panic(fmt.Sprintf("hpcsim: nodes %d must be positive", nodes))
+	}
+	if totalSamples < nodes {
+		totalSamples = nodes // at least one step per node
+	}
+	step, ioBound := m.StepTime(fs, nodes)
+	steps := totalSamples / nodes
+	epoch := time.Duration(steps) * step
+
+	step1, _ := m.StepTime(fs, 1)
+	epoch1 := time.Duration(totalSamples) * step1
+	speedup := float64(epoch1) / float64(epoch)
+
+	return Metrics{
+		Nodes:          nodes,
+		StepTime:       step,
+		CommTime:       m.CommTime(nodes),
+		IOTime:         m.IOTime(fs, nodes),
+		Straggler:      m.StragglerPenalty(nodes),
+		EpochTime:      epoch,
+		Speedup:        speedup,
+		Efficiency:     speedup / float64(nodes),
+		CommBWPerNode:  m.CommBandwidth(nodes),
+		AggregateFlops: float64(nodes) * m.FlopsPerSample / step.Seconds(),
+		IOBound:        ioBound,
+	}
+}
+
+// Sweep simulates a set of node counts (the Figure-4 x-axis).
+func Sweep(m Machine, fs Filesystem, nodeCounts []int, totalSamples int) []Metrics {
+	out := make([]Metrics, 0, len(nodeCounts))
+	for _, n := range nodeCounts {
+		out = append(out, Simulate(m, fs, n, totalSamples))
+	}
+	return out
+}
+
+// Fig4NodeCounts returns the paper's scaling-plot x-axis.
+func Fig4NodeCounts() []int {
+	return []int{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192}
+}
+
+// FormatSweep renders a sweep as the Figure-4 data table.
+func FormatSweep(m Machine, fs Filesystem, ms []Metrics) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s on %s\n", m.Name, fs.Name)
+	fmt.Fprintf(&b, "%7s %10s %10s %10s %9s %8s %12s %s\n",
+		"nodes", "step", "comm", "io", "speedup", "eff", "agg flop/s", "bound")
+	for _, x := range ms {
+		bound := "compute"
+		if x.IOBound {
+			bound = "io"
+		}
+		fmt.Fprintf(&b, "%7d %10v %10v %10v %9.1f %7.1f%% %12.3g %s\n",
+			x.Nodes,
+			x.StepTime.Round(100*time.Microsecond),
+			x.CommTime.Round(100*time.Microsecond),
+			x.IOTime.Round(100*time.Microsecond),
+			x.Speedup, 100*x.Efficiency, x.AggregateFlops, bound)
+	}
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package hpcsim
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestFullScaleRunMatchesPaperStatistics(t *testing.T) {
+	// §V-D: 130 epochs at 8192 nodes, mean 3.35 s ± 0.32 s (excluding the
+	// first epoch); whole run ≈ 9 minutes with ~8 minutes of training.
+	samples, stats := FullScaleRun(1)
+	if len(samples) != 130 {
+		t.Fatalf("epochs = %d, want 130", len(samples))
+	}
+	mean := stats.Mean.Seconds()
+	if math.Abs(mean-3.35)/3.35 > 0.07 {
+		t.Errorf("mean epoch %.2f s, paper reports 3.35 s", mean)
+	}
+	std := stats.Std.Seconds()
+	if std < 0.2 || std > 0.45 {
+		t.Errorf("epoch std %.2f s, paper reports ±0.32 s", std)
+	}
+	total := stats.Total.Minutes()
+	if total < 6 || total > 10 {
+		t.Errorf("training portion %.1f min, paper reports ~8 min of training", total)
+	}
+}
+
+func TestSimulateEpochsDeterministicPerSeed(t *testing.T) {
+	a := SimulateEpochs(Cori(), CoriDataWarp(), 128, 128*20, 10, 7)
+	b := SimulateEpochs(Cori(), CoriDataWarp(), 128, 128*20, 10, 7)
+	for i := range a {
+		if a[i].Time != b[i].Time {
+			t.Fatal("same seed must replay identical epochs")
+		}
+	}
+	c := SimulateEpochs(Cori(), CoriDataWarp(), 128, 128*20, 10, 8)
+	same := true
+	for i := range a {
+		if a[i].Time != c[i].Time {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds gave identical epoch series")
+	}
+}
+
+func TestSummarizeWarmupExclusion(t *testing.T) {
+	samples := []EpochSample{
+		{0, 100 * time.Second}, // warm-up outlier
+		{1, 2 * time.Second},
+		{2, 2 * time.Second},
+		{3, 2 * time.Second},
+	}
+	stats, err := Summarize(samples, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Mean != 2*time.Second {
+		t.Errorf("mean %v, want 2 s after excluding warm-up", stats.Mean)
+	}
+	if stats.Std != 0 {
+		t.Errorf("std %v, want 0", stats.Std)
+	}
+	if stats.Total != 106*time.Second {
+		t.Errorf("total %v must include warm-up", stats.Total)
+	}
+	if _, err := Summarize(samples, 4); err == nil {
+		t.Error("warmup >= len accepted")
+	}
+}
+
+func TestEpochJitterBounded(t *testing.T) {
+	// No epoch may be implausibly fast (the 0.5× floor).
+	samples := SimulateEpochs(Cori(), CoriDataWarp(), 8192, 8192*20, 1000, 3)
+	base := Simulate(Cori(), CoriDataWarp(), 8192, 8192*20).EpochTime
+	for _, s := range samples {
+		if s.Time < base/2 {
+			t.Fatalf("epoch %d time %v below the floor", s.Epoch, s.Time)
+		}
+	}
+}

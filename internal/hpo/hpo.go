@@ -1,0 +1,150 @@
+// Package hpo implements the ensemble hyperparameter search the paper
+// identifies as the other pillar of HPC-for-deep-learning (§II-C: each node
+// independently trains a different network; §VII-B: "designing optimized
+// hyperparameter searches ... are now within the reach").
+//
+// Trials run concurrently, each a complete synchronous-SGD training with
+// its own seed and optimizer settings; the driver returns all results
+// ranked by validation loss.
+package hpo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"repro/internal/cosmo"
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/train"
+)
+
+// Space defines the sampling ranges for the searched hyperparameters: the
+// base/minimum learning rates and the LARC trust coefficient — the knobs
+// the paper reports tuning for its 2048- and 8192-node runs (§V-D).
+type Space struct {
+	Eta0      [2]float64 // log-uniform range for the base LR
+	EtaMin    [2]float64 // log-uniform range for the floor LR
+	TrustCoef [2]float64 // log-uniform range for the LARC coefficient
+}
+
+// DefaultSpace brackets the paper's published values (η0 = 2e-3,
+// ηmin = 1e-4, trust = 0.002).
+func DefaultSpace() Space {
+	return Space{
+		Eta0:      [2]float64{5e-4, 1e-2},
+		EtaMin:    [2]float64{1e-5, 5e-4},
+		TrustCoef: [2]float64{5e-4, 1e-2},
+	}
+}
+
+// Trial is one sampled configuration and its outcome.
+type Trial struct {
+	ID        int
+	Eta0      float64
+	EtaMin    float64
+	TrustCoef float64
+	ValLoss   float64
+	TrainLoss float64
+	Err       error
+}
+
+// Config controls the search.
+type Config struct {
+	Trials      int
+	Concurrency int // simultaneous trainings; 0 means Trials
+	// Per-trial training shape.
+	Ranks, Epochs int
+	Topology      nn.TopologyConfig
+	Seed          int64
+}
+
+// logUniform samples from [lo, hi] uniformly in log space.
+func logUniform(rng *rand.Rand, lo, hi float64) float64 {
+	if lo <= 0 || hi < lo {
+		panic(fmt.Sprintf("hpo: bad log-uniform range [%g, %g]", lo, hi))
+	}
+	u := rng.Float64()
+	return lo * math.Pow(hi/lo, u)
+}
+
+// Search runs a random search over the space, returning trials sorted by
+// validation loss (best first). Trials with errors sort last.
+func Search(cfg Config, space Space, trainSet, valSet []*cosmo.Sample) ([]Trial, error) {
+	if cfg.Trials < 1 {
+		return nil, fmt.Errorf("hpo: Trials %d must be positive", cfg.Trials)
+	}
+	if cfg.Concurrency <= 0 || cfg.Concurrency > cfg.Trials {
+		cfg.Concurrency = cfg.Trials
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	trials := make([]Trial, cfg.Trials)
+	for i := range trials {
+		trials[i] = Trial{
+			ID:        i,
+			Eta0:      logUniform(rng, space.Eta0[0], space.Eta0[1]),
+			EtaMin:    logUniform(rng, space.EtaMin[0], space.EtaMin[1]),
+			TrustCoef: logUniform(rng, space.TrustCoef[0], space.TrustCoef[1]),
+		}
+	}
+
+	sem := make(chan struct{}, cfg.Concurrency)
+	var wg sync.WaitGroup
+	for i := range trials {
+		wg.Add(1)
+		go func(t *Trial) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			runTrial(cfg, t, trainSet, valSet)
+		}(&trials[i])
+	}
+	wg.Wait()
+
+	sort.Slice(trials, func(i, j int) bool {
+		if (trials[i].Err == nil) != (trials[j].Err == nil) {
+			return trials[i].Err == nil
+		}
+		return trials[i].ValLoss < trials[j].ValLoss
+	})
+	return trials, nil
+}
+
+func runTrial(cfg Config, t *Trial, trainSet, valSet []*cosmo.Sample) {
+	tc := train.Config{
+		Ranks:    cfg.Ranks,
+		Epochs:   cfg.Epochs,
+		Topology: cfg.Topology,
+		Optim: optim.Config{
+			TrustCoef: t.TrustCoef,
+			Schedule: optim.PolySchedule{
+				Eta0:   t.Eta0,
+				EtaMin: t.EtaMin,
+				// DecaySteps filled by the trainer to span the run.
+			},
+		},
+		Seed: cfg.Seed + int64(t.ID)*7919,
+	}
+	res, err := train.Run(tc, trainSet, valSet)
+	if err != nil {
+		t.Err = err
+		return
+	}
+	t.TrainLoss = res.FinalTrainLoss()
+	t.ValLoss = res.FinalValLoss()
+	if len(valSet) == 0 {
+		t.ValLoss = t.TrainLoss
+	}
+}
+
+// Best returns the first error-free trial (the winner).
+func Best(trials []Trial) (Trial, error) {
+	for _, t := range trials {
+		if t.Err == nil {
+			return t, nil
+		}
+	}
+	return Trial{}, fmt.Errorf("hpo: every trial failed")
+}

@@ -1,0 +1,118 @@
+package hpo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cosmo"
+	"repro/internal/nn"
+)
+
+func trialData(n int, seed int64) []*cosmo.Sample {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]*cosmo.Sample, n)
+	for i := range out {
+		target := [3]float32{rng.Float32(), rng.Float32(), rng.Float32()}
+		out[i] = cosmo.SyntheticSample(8, target, rng.Int63())
+	}
+	return out
+}
+
+func TestLogUniformStaysInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		v := logUniform(rng, 1e-4, 1e-1)
+		if v < 1e-4 || v > 1e-1 {
+			t.Fatalf("sample %v outside range", v)
+		}
+	}
+}
+
+func TestLogUniformCoversDecades(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	low, high := 0, 0
+	for i := 0; i < 1000; i++ {
+		v := logUniform(rng, 1e-4, 1e-2)
+		if v < 1e-3 {
+			low++
+		} else {
+			high++
+		}
+	}
+	// Log-uniform: each decade gets ~half the mass.
+	if low < 350 || high < 350 {
+		t.Errorf("decade split %d/%d; not log-uniform", low, high)
+	}
+}
+
+func TestSearchRunsAndRanks(t *testing.T) {
+	data := trialData(8, 3)
+	cfg := Config{
+		Trials:      4,
+		Concurrency: 2,
+		Ranks:       1,
+		Epochs:      2,
+		Topology:    nn.TopologyConfig{InputDim: 8, BaseChannels: 2, Seed: 1},
+		Seed:        4,
+	}
+	trials, err := Search(cfg, DefaultSpace(), data, data[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trials) != 4 {
+		t.Fatalf("trials = %d", len(trials))
+	}
+	for i := 1; i < len(trials); i++ {
+		if trials[i-1].Err == nil && trials[i].Err == nil &&
+			trials[i-1].ValLoss > trials[i].ValLoss {
+			t.Error("trials not sorted by validation loss")
+		}
+	}
+	best, err := Best(trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(best.ValLoss) || best.ValLoss <= 0 {
+		t.Errorf("best val loss %v", best.ValLoss)
+	}
+	if best.Eta0 < 5e-4 || best.Eta0 > 1e-2 {
+		t.Errorf("sampled Eta0 %v outside space", best.Eta0)
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	data := trialData(6, 5)
+	cfg := Config{
+		Trials: 2, Ranks: 1, Epochs: 1,
+		Topology: nn.TopologyConfig{InputDim: 8, BaseChannels: 2, Seed: 1},
+		Seed:     6,
+	}
+	a, err := Search(cfg, DefaultSpace(), data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Search(cfg, DefaultSpace(), data, nil)
+	for i := range a {
+		if a[i].Eta0 != b[i].Eta0 || a[i].ValLoss != b[i].ValLoss {
+			t.Fatal("search not deterministic")
+		}
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	if _, err := Search(Config{Trials: 0}, DefaultSpace(), nil, nil); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestBestAllFailed(t *testing.T) {
+	trials := []Trial{{Err: errFake{}}, {Err: errFake{}}}
+	if _, err := Best(trials); err == nil {
+		t.Error("Best on all-failed trials should error")
+	}
+}
+
+type errFake struct{}
+
+func (errFake) Error() string { return "fake" }

@@ -1,0 +1,70 @@
+package iopipe
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cosmo"
+	"repro/internal/tfrecord"
+)
+
+// TestCorruptFileSurfacesError injects corruption into a TFRecord file and
+// verifies the pipeline reports it instead of silently dropping data — the
+// failure mode a production input pipeline must not hide.
+func TestCorruptFileSurfacesError(t *testing.T) {
+	dir := t.TempDir()
+	samples := []*cosmo.Sample{
+		{Dim: 2, Voxels: make([]float32, 8), Target: [3]float32{1, 2, 3}},
+		{Dim: 2, Voxels: make([]float32, 8), Target: [3]float32{4, 5, 6}},
+	}
+	path := filepath.Join(dir, "train-00000.tfrecord")
+	if err := tfrecord.WriteSamplesFile(path, samples); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the middle of the first record's payload.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[20] ^= 0xFF
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := NewPipeline([]string{path}, Config{Readers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, ec := p.Epoch(0)
+	for range sc {
+	}
+	if err := <-ec; err == nil {
+		t.Fatal("corrupt record passed through the pipeline without error")
+	}
+}
+
+// TestTruncatedFileSurfacesError covers partially written files (e.g. a
+// crashed datagen run).
+func TestTruncatedFileSurfacesError(t *testing.T) {
+	dir := t.TempDir()
+	samples := []*cosmo.Sample{{Dim: 4, Voxels: make([]float32, 64)}}
+	path := filepath.Join(dir, "train-00000.tfrecord")
+	if err := tfrecord.WriteSamplesFile(path, samples); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPipeline([]string{path}, Config{Readers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, ec := p.Epoch(0)
+	for range sc {
+	}
+	if err := <-ec; err == nil {
+		t.Fatal("truncated file passed through the pipeline without error")
+	}
+}

@@ -1,0 +1,288 @@
+// Package iopipe implements the training input pipeline: dedicated reader
+// goroutines that prefetch and buffer randomly selected samples from
+// TFRecord files ahead of the gradient computation, mirroring the
+// QueueRunner/coordinator structure the paper uses (§V-A, §VI-A).
+//
+// A token-bucket Throttle models the per-node filesystem read bandwidth so
+// the Lustre-vs-burst-buffer I/O regimes of §VI-A can be reproduced on a
+// single machine.
+package iopipe
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/cosmo"
+	"repro/internal/tfrecord"
+)
+
+// Throttle is a token-bucket rate limiter shared by all readers of one
+// "node". A nil *Throttle imposes no limit.
+type Throttle struct {
+	mu         sync.Mutex
+	bytesPerS  float64
+	available  float64
+	lastRefill time.Time
+	burst      float64
+}
+
+// NewThrottle builds a limiter allowing bytesPerSecond sustained throughput
+// with a burst of one second's worth of tokens.
+func NewThrottle(bytesPerSecond float64) *Throttle {
+	if bytesPerSecond <= 0 {
+		panic(fmt.Sprintf("iopipe: non-positive throttle rate %g", bytesPerSecond))
+	}
+	return &Throttle{
+		bytesPerS:  bytesPerSecond,
+		available:  bytesPerSecond,
+		burst:      bytesPerSecond,
+		lastRefill: time.Now(),
+	}
+}
+
+// Wait blocks until n bytes of budget are available and consumes them.
+func (t *Throttle) Wait(n int) {
+	if t == nil {
+		return
+	}
+	for {
+		t.mu.Lock()
+		now := time.Now()
+		t.available += now.Sub(t.lastRefill).Seconds() * t.bytesPerS
+		if t.available > t.burst {
+			t.available = t.burst
+		}
+		t.lastRefill = now
+		if t.available >= float64(n) {
+			t.available -= float64(n)
+			t.mu.Unlock()
+			return
+		}
+		deficit := float64(n) - t.available
+		t.mu.Unlock()
+		time.Sleep(time.Duration(deficit / t.bytesPerS * float64(time.Second)))
+	}
+}
+
+// Rate returns the sustained throughput in bytes/second.
+func (t *Throttle) Rate() float64 {
+	if t == nil {
+		return 0
+	}
+	return t.bytesPerS
+}
+
+// throttledReader applies a Throttle to an io.Reader.
+type throttledReader struct {
+	r io.Reader
+	t *Throttle
+}
+
+func (tr *throttledReader) Read(p []byte) (int, error) {
+	// Cap request size so token waits stay smooth.
+	const chunk = 256 << 10
+	if len(p) > chunk {
+		p = p[:chunk]
+	}
+	tr.t.Wait(len(p))
+	return tr.r.Read(p)
+}
+
+// Config controls a Pipeline.
+type Config struct {
+	// Readers is the number of dedicated I/O goroutines (the paper uses 6
+	// I/O threads per rank, §V-B).
+	Readers int
+	// ShuffleBuffer is the size of the in-memory shuffle pool; 0 disables
+	// shuffling (used for validation/test streams, which the paper does not
+	// randomize).
+	ShuffleBuffer int
+	// Throttle models per-node filesystem bandwidth; nil means unthrottled.
+	Throttle *Throttle
+	// Seed makes shuffle order deterministic.
+	Seed int64
+	// QueueDepth is the prefetch channel capacity (default 8).
+	QueueDepth int
+}
+
+// DefaultConfig returns the paper's single-rank pipeline shape.
+func DefaultConfig() Config {
+	return Config{Readers: 6, ShuffleBuffer: 128, QueueDepth: 8}
+}
+
+// Pipeline streams samples from a fixed set of TFRecord files. Each call to
+// Epoch starts one pass over all files and returns a receive channel; the
+// pipeline owns reader goroutines for the duration of the pass.
+type Pipeline struct {
+	files []string
+	cfg   Config
+}
+
+// NewPipeline validates the file list and returns a pipeline.
+func NewPipeline(files []string, cfg Config) (*Pipeline, error) {
+	if len(files) == 0 {
+		return nil, errors.New("iopipe: no input files")
+	}
+	for _, f := range files {
+		if _, err := os.Stat(f); err != nil {
+			return nil, fmt.Errorf("iopipe: %w", err)
+		}
+	}
+	if cfg.Readers <= 0 {
+		cfg.Readers = 1
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 8
+	}
+	return &Pipeline{files: files, cfg: cfg}, nil
+}
+
+// Files returns the pipeline's input file list.
+func (p *Pipeline) Files() []string { return p.files }
+
+// Epoch starts one pass over every sample in every file. Samples arrive on
+// the returned channel, which is closed when the pass completes. The first
+// error (if any) is delivered on the error channel, also closed at the end.
+// The epoch number perturbs the shuffle order so successive epochs differ.
+func (p *Pipeline) Epoch(epoch int) (<-chan *cosmo.Sample, <-chan error) {
+	out := make(chan *cosmo.Sample, p.cfg.QueueDepth)
+	errc := make(chan error, 1)
+
+	rng := rand.New(rand.NewSource(p.cfg.Seed + int64(epoch)*1_000_003))
+	order := rng.Perm(len(p.files))
+
+	fileCh := make(chan string)
+	var wg sync.WaitGroup
+	raw := make(chan *cosmo.Sample, p.cfg.QueueDepth)
+
+	for i := 0; i < p.cfg.Readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for path := range fileCh {
+				if err := p.readFile(path, raw); err != nil {
+					select {
+					case errc <- err:
+					default:
+					}
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		for _, idx := range order {
+			fileCh <- p.files[idx]
+		}
+		close(fileCh)
+		wg.Wait()
+		close(raw)
+	}()
+	go func() {
+		defer close(out)
+		defer close(errc)
+		if p.cfg.ShuffleBuffer > 1 {
+			shuffle(raw, out, p.cfg.ShuffleBuffer, rng.Int63())
+		} else {
+			for s := range raw {
+				out <- s
+			}
+		}
+	}()
+	return out, errc
+}
+
+// readFile streams one TFRecord file's samples into the channel.
+func (p *Pipeline) readFile(path string, out chan<- *cosmo.Sample) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var r io.Reader = f
+	if p.cfg.Throttle != nil {
+		r = &throttledReader{r: f, t: p.cfg.Throttle}
+	}
+	tr := tfrecord.NewReader(r)
+	for {
+		rec, err := tr.ReadRecord()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return fmt.Errorf("iopipe: reading %s: %w", path, err)
+		}
+		s, err := tfrecord.DecodeSample(rec)
+		if err != nil {
+			return fmt.Errorf("iopipe: decoding %s: %w", path, err)
+		}
+		out <- s
+	}
+}
+
+// shuffle implements reservoir-style streaming shuffle: maintain a pool of
+// size n; for each arriving sample, emit a random pool entry and replace it.
+func shuffle(in <-chan *cosmo.Sample, out chan<- *cosmo.Sample, n int, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	pool := make([]*cosmo.Sample, 0, n)
+	for s := range in {
+		if len(pool) < n {
+			pool = append(pool, s)
+			continue
+		}
+		i := rng.Intn(len(pool))
+		out <- pool[i]
+		pool[i] = s
+	}
+	rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	for _, s := range pool {
+		out <- s
+	}
+}
+
+// MemorySource serves a fixed in-memory sample list, optionally reshuffled
+// per epoch. It implements the same Epoch contract as Pipeline and is used
+// for "dummy data" runs (data generated during compute, §V-C1) and tests.
+type MemorySource struct {
+	Samples []*cosmo.Sample
+	Shuffle bool
+	Seed    int64
+}
+
+// Epoch yields every sample once; order is reshuffled per epoch if enabled.
+func (m *MemorySource) Epoch(epoch int) (<-chan *cosmo.Sample, <-chan error) {
+	out := make(chan *cosmo.Sample, 8)
+	errc := make(chan error, 1)
+	go func() {
+		defer close(out)
+		defer close(errc)
+		order := make([]int, len(m.Samples))
+		for i := range order {
+			order[i] = i
+		}
+		if m.Shuffle {
+			rng := rand.New(rand.NewSource(m.Seed + int64(epoch)*7919))
+			rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		}
+		for _, i := range order {
+			out <- m.Samples[i]
+		}
+	}()
+	return out, errc
+}
+
+// Source is anything that can stream one epoch of samples: a Pipeline over
+// TFRecord files or a MemorySource.
+type Source interface {
+	Epoch(epoch int) (<-chan *cosmo.Sample, <-chan error)
+}
+
+var (
+	_ Source = (*Pipeline)(nil)
+	_ Source = (*MemorySource)(nil)
+)

@@ -1,0 +1,226 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestBatchNormNormalizesPerChannel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bn := NewBatchNorm3D("bn", 3)
+	x := tensor.New(3, 4, 4, 4)
+	x.RandNormal(rng, 5, 3) // far from standardized
+	y := bn.Forward(x)
+	n := 64
+	for c := 0; c < 3; c++ {
+		seg := y.Data()[c*n : (c+1)*n]
+		var mean float64
+		for _, v := range seg {
+			mean += float64(v)
+		}
+		mean /= float64(n)
+		var variance float64
+		for _, v := range seg {
+			variance += (float64(v) - mean) * (float64(v) - mean)
+		}
+		variance /= float64(n)
+		if math.Abs(mean) > 1e-4 {
+			t.Errorf("channel %d mean %v, want ~0", c, mean)
+		}
+		if math.Abs(variance-1) > 1e-3 {
+			t.Errorf("channel %d variance %v, want ~1", c, variance)
+		}
+	}
+}
+
+func TestBatchNormGammaBetaApplied(t *testing.T) {
+	bn := NewBatchNorm3D("bn", 1)
+	bn.Gamma.Value.Data()[0] = 2
+	bn.Beta.Value.Data()[0] = 7
+	x := tensor.New(1, 2, 2, 2)
+	rng := rand.New(rand.NewSource(2))
+	x.RandNormal(rng, 0, 1)
+	y := bn.Forward(x)
+	var mean float64
+	for _, v := range y.Data() {
+		mean += float64(v)
+	}
+	mean /= float64(len(y.Data()))
+	if math.Abs(mean-7) > 1e-4 {
+		t.Errorf("output mean %v, want β=7", mean)
+	}
+}
+
+func TestBatchNormInferenceUsesRunningStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	bn := NewBatchNorm3D("bn", 2)
+	x := tensor.New(2, 4, 4, 4)
+	// Several training passes accumulate running statistics.
+	for i := 0; i < 50; i++ {
+		x.RandNormal(rng, 2, 0.5)
+		bn.Forward(x)
+	}
+	bn.Train = false
+	// A constant input in inference mode must give a constant output
+	// derived from the running stats — no per-sample normalization.
+	x.Fill(2)
+	y := bn.Forward(x)
+	first := y.Data()[0]
+	for _, v := range y.Data()[:64] {
+		if v != first {
+			t.Fatal("inference output not constant for constant input")
+		}
+	}
+	// Normalizing 2 by running mean ≈ 2 gives ≈ 0.
+	if math.Abs(float64(first)) > 0.2 {
+		t.Errorf("inference output %v, want ≈0 given running mean ≈2", first)
+	}
+}
+
+func TestBatchNormGradients(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	bn := NewBatchNorm3D("bn", 2)
+	bn.Gamma.Value.RandNormal(rng, 1, 0.2)
+	bn.Beta.Value.RandNormal(rng, 0, 0.2)
+	x := tensor.New(2, 3, 3, 3)
+	x.RandNormal(rng, 1, 2)
+	out := bn.OutputShape(x.Shape())
+	r := make([]float32, out.NumElements())
+	for i := range r {
+		r[i] = float32(rng.NormFloat64())
+	}
+	forward := func() float64 { return lossOf(bn.Forward(x), r) }
+	bn.Forward(x)
+	bn.Gamma.Grad.Zero()
+	bn.Beta.Grad.Zero()
+	dx := bn.Backward(tensor.FromData(append([]float32(nil), r...), out...))
+
+	const tol = 3e-2
+	for _, i := range sampleIndices(rng, x.NumElements(), 10) {
+		checkGrad(t, "dX", forward, x.Data(), i, float64(dx.Data()[i]), tol)
+	}
+	for i := range bn.Gamma.Value.Data() {
+		checkGrad(t, "dGamma", forward, bn.Gamma.Value.Data(), i, float64(bn.Gamma.Grad.Data()[i]), tol)
+		checkGrad(t, "dBeta", forward, bn.Beta.Value.Data(), i, float64(bn.Beta.Grad.Data()[i]), tol)
+	}
+}
+
+func TestBatchNormRemovalAblation(t *testing.T) {
+	// The §III-A claim: at batch size 1, removing batch-norm does not
+	// degrade accuracy. Train two otherwise identical tiny networks on
+	// the same data, with and without BN after each conv, and require the
+	// no-BN variant to reach a loss at least as good (within noise).
+	rng := rand.New(rand.NewSource(5))
+	x := tensor.New(1, 8, 8, 8)
+	x.RandNormal(rng, 0, 1)
+	target := []float32{0.3, 0.6, 0.9}
+
+	trainNet := func(withBN bool) float64 {
+		pool := (*Network)(nil)
+		_ = pool
+		net, err := BuildCosmoFlow(TopologyConfig{InputDim: 8, BaseChannels: 2, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if withBN {
+			// Insert BN after each convolution.
+			var layers []Layer
+			for _, l := range net.Layers {
+				layers = append(layers, l)
+				if c, ok := l.(*Conv3D); ok {
+					layers = append(layers, NewBatchNorm3D(c.Name()+".bn", c.OutC))
+				}
+			}
+			net.Layers = layers
+		}
+		params := net.Params()
+		params[len(params)-1].Value.Fill(0.1)
+		var loss float64
+		for step := 0; step < 60; step++ {
+			net.ZeroGrads()
+			pred := net.Forward(x)
+			var grad *tensor.Tensor
+			loss, grad = MSELoss(pred, target)
+			net.Backward(grad)
+			for _, p := range net.Params() {
+				tensor.Axpy(-0.02, p.Grad.Data(), p.Value.Data())
+			}
+			net.InvalidateWeights()
+		}
+		return loss
+	}
+
+	withBN := trainNet(true)
+	without := trainNet(false)
+	if without > 2*withBN && without > 0.05 {
+		t.Errorf("no-BN loss %g much worse than BN loss %g; §III-A removal claim violated", without, withBN)
+	}
+}
+
+func TestDropoutTrainingAndInference(t *testing.T) {
+	d := NewDropout("drop", 0.5, 1)
+	x := tensor.New(1000)
+	x.Fill(1)
+	y := d.Forward(x)
+	zeros := 0
+	for _, v := range y.Data() {
+		if v == 0 {
+			zeros++
+		} else if math.Abs(float64(v)-2) > 1e-5 {
+			t.Fatalf("survivor value %v, want 2 (inverted dropout)", v)
+		}
+	}
+	if zeros < 400 || zeros > 600 {
+		t.Errorf("dropped %d of 1000 at rate 0.5", zeros)
+	}
+	// Inference: identity.
+	d.Train = false
+	y = d.Forward(x)
+	for _, v := range y.Data() {
+		if v != 1 {
+			t.Fatal("inference dropout must be identity")
+		}
+	}
+}
+
+func TestDropoutBackwardUsesSameMask(t *testing.T) {
+	d := NewDropout("drop", 0.3, 2)
+	x := tensor.New(100)
+	x.Fill(1)
+	y := d.Forward(x)
+	dy := tensor.New(100)
+	dy.Fill(1)
+	dx := d.Backward(dy)
+	for i := range y.Data() {
+		if (y.Data()[i] == 0) != (dx.Data()[i] == 0) {
+			t.Fatal("backward mask differs from forward mask")
+		}
+	}
+}
+
+func TestDropoutRejectsBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("rate 1.0 accepted")
+		}
+	}()
+	NewDropout("d", 1.0, 1)
+}
+
+func TestSetTrainingTogglesModeLayers(t *testing.T) {
+	net := &Network{InputDim: 4, Layers: []Layer{
+		NewBatchNorm3D("bn", 1),
+		NewDropout("drop", 0.5, 1),
+	}}
+	net.SetTraining(false)
+	if net.Layers[0].(*BatchNorm3D).Train || net.Layers[1].(*Dropout).Train {
+		t.Error("SetTraining(false) did not propagate")
+	}
+	net.SetTraining(true)
+	if !net.Layers[0].(*BatchNorm3D).Train || !net.Layers[1].(*Dropout).Train {
+		t.Error("SetTraining(true) did not propagate")
+	}
+}

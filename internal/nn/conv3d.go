@@ -1,0 +1,285 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// Conv3D is a direct 3D convolution layer with bias, the computational core
+// of the CosmoFlow network (§III-C). Two forward kernels are provided: a
+// generic direct convolution, and a channel-blocked kernel structured
+// exactly like the paper's Algorithm 1 (16-channel blocks over input and
+// output, width-blocked inner loops) that is used automatically when the
+// layer shape allows it.
+type Conv3D struct {
+	InC, OutC  int
+	K          int // cubic kernel extent
+	Stride     int
+	Pad        int
+	W          *Param // [OC IC K K K]
+	B          *Param // [OC]
+	pool       *parallel.Pool
+	forceNaive bool // test hook: disable the blocked kernel
+
+	// cached between Forward and Backward
+	x *tensor.Tensor
+
+	// packed blocked weights, rebuilt lazily when the weight version bumps
+	packed     *tensor.BlockedWeights
+	packedSeen uint64
+	// transposed-flipped pack for the blocked backward-data kernel
+	packedT     *tensor.BlockedWeights
+	packedTSeen uint64
+	wVersion    uint64
+}
+
+// NewConv3D builds a convolution layer. Weights use He initialization from
+// rng; biases start at zero. pool supplies intra-node threading (the
+// OpenMP analogue); nil uses parallel.Default.
+func NewConv3D(name string, inC, outC, k, stride, pad int, pool *parallel.Pool, rng *rand.Rand) *Conv3D {
+	if pool == nil {
+		pool = parallel.Default
+	}
+	c := &Conv3D{
+		InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad,
+		W:    newParam(name+".W", outC, inC, k, k, k),
+		B:    newParam(name+".B", outC),
+		pool: pool,
+	}
+	heInit(c.W.Value, inC*k*k*k, rng)
+	c.wVersion = 1
+	return c
+}
+
+func (c *Conv3D) Name() string { return c.W.Name[:len(c.W.Name)-2] }
+
+// Params returns the weight and bias parameters.
+func (c *Conv3D) Params() []*Param { return []*Param{c.W, c.B} }
+
+// ForceDirect disables the blocked Algorithm-1 kernel so the generic direct
+// convolution runs instead; used by the kernel ablation benchmarks.
+func (c *Conv3D) ForceDirect(v bool) { c.forceNaive = v }
+
+// InvalidateWeights must be called after W.Value is mutated outside
+// Backward/optimizer flow (e.g. direct writes in tests) so the packed
+// blocked weights are refreshed. The optimizer path calls it via the
+// network's hook.
+func (c *Conv3D) InvalidateWeights() { c.wVersion++ }
+
+// OutputShape implements Layer.
+func (c *Conv3D) OutputShape(in tensor.Shape) tensor.Shape {
+	c.checkInput(in)
+	od := convOutDim(in[1], c.K, c.Stride, c.Pad)
+	oh := convOutDim(in[2], c.K, c.Stride, c.Pad)
+	ow := convOutDim(in[3], c.K, c.Stride, c.Pad)
+	return tensor.Shape{c.OutC, od, oh, ow}
+}
+
+func (c *Conv3D) checkInput(in tensor.Shape) {
+	if len(in) != 4 || in[0] != c.InC {
+		panic(fmt.Sprintf("nn: %s expects [C=%d D H W] input, got %v", c.Name(), c.InC, in))
+	}
+}
+
+// FwdFLOPs counts 2·K³·IC·OC·outVoxels multiply-adds plus bias adds.
+func (c *Conv3D) FwdFLOPs(in tensor.Shape) int64 {
+	out := c.OutputShape(in)
+	vox := int64(out[1]) * int64(out[2]) * int64(out[3])
+	mac := 2 * int64(c.K*c.K*c.K) * int64(c.InC) * int64(c.OutC) * vox
+	return mac + int64(c.OutC)*vox
+}
+
+// BwdFLOPs counts the backward-data plus backward-weights passes, each the
+// same MAC volume as forward (§III-C).
+func (c *Conv3D) BwdFLOPs(in tensor.Shape) int64 {
+	out := c.OutputShape(in)
+	vox := int64(out[1]) * int64(out[2]) * int64(out[3])
+	mac := 2 * int64(c.K*c.K*c.K) * int64(c.InC) * int64(c.OutC) * vox
+	return 2*mac + int64(c.OutC)*vox
+}
+
+// useBlocked reports whether the Algorithm-1 kernel applies: stride one and
+// both channel counts multiples of the SIMD block, which the paper
+// guarantees by construction for every layer after the first (§III-A).
+func (c *Conv3D) useBlocked() bool {
+	return !c.forceNaive && c.Stride == 1 &&
+		c.InC%tensor.BlockSize == 0 && c.OutC%tensor.BlockSize == 0
+}
+
+// Forward implements Layer.
+func (c *Conv3D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	c.checkInput(x.Shape())
+	c.x = x
+	if c.useBlocked() {
+		return c.forwardBlocked(x)
+	}
+	return c.forwardDirect(x)
+}
+
+// forwardDirect is the generic direct convolution, threaded over output
+// channels.
+func (c *Conv3D) forwardDirect(x *tensor.Tensor) *tensor.Tensor {
+	in := x.Shape()
+	id, ih, iw := in[1], in[2], in[3]
+	out := c.OutputShape(in)
+	od, oh, ow := out[1], out[2], out[3]
+	y := tensor.New(out...)
+	xd, yd, wd, bd := x.Data(), y.Data(), c.W.Value.Data(), c.B.Value.Data()
+	k, s, p := c.K, c.Stride, c.Pad
+
+	c.pool.ForEach(c.OutC, 1, func(oc int) {
+		for z := 0; z < od; z++ {
+			kdLo, kdHi := kernelRange(z, s, p, k, id)
+			for yy := 0; yy < oh; yy++ {
+				khLo, khHi := kernelRange(yy, s, p, k, ih)
+				for xx := 0; xx < ow; xx++ {
+					kwLo, kwHi := kernelRange(xx, s, p, k, iw)
+					acc := float64(bd[oc])
+					for ic := 0; ic < c.InC; ic++ {
+						wBase := (((oc*c.InC + ic) * k) * k) * k
+						for kd := kdLo; kd < kdHi; kd++ {
+							zi := z*s + kd - p
+							for kh := khLo; kh < khHi; kh++ {
+								yi := yy*s + kh - p
+								xRow := ((ic*id+zi)*ih + yi) * iw
+								wRow := wBase + (kd*k+kh)*k
+								for kw := kwLo; kw < kwHi; kw++ {
+									xi := xx*s + kw - p
+									acc += float64(wd[wRow+kw]) * float64(xd[xRow+xi])
+								}
+							}
+						}
+					}
+					yd[((oc*od+z)*oh+yy)*ow+xx] = float32(acc)
+				}
+			}
+		}
+	})
+	return y
+}
+
+// kernelRange returns the kernel index interval [lo, hi) that keeps the
+// input coordinate o*s + kk - p inside [0, extent).
+func kernelRange(o, s, p, k, extent int) (lo, hi int) {
+	lo = p - o*s
+	if lo < 0 {
+		lo = 0
+	}
+	hi = extent - o*s + p
+	if hi > k {
+		hi = k
+	}
+	return lo, hi
+}
+
+// Backward implements Layer, computing both the backward-data and
+// backward-weights operators (§III-C).
+func (c *Conv3D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if c.x == nil {
+		panic("nn: Conv3D.Backward called before Forward")
+	}
+	x := c.x
+	in := x.Shape()
+	id, ih, iw := in[1], in[2], in[3]
+	out := dy.Shape()
+	od, oh, ow := out[1], out[2], out[3]
+	k, s, p := c.K, c.Stride, c.Pad
+	xd, dyd := x.Data(), dy.Data()
+	wd := c.W.Value.Data()
+	dwd, dbd := c.W.Grad.Data(), c.B.Grad.Data()
+
+	// Backward weights: each worker owns one output channel's dW slice and
+	// bias entry, so no reduction is needed — the paper's "sufficiently
+	// many channel blocks" strategy (§III-C).
+	c.pool.ForEach(c.OutC, 1, func(oc int) {
+		var db float64
+		for z := 0; z < od; z++ {
+			for yy := 0; yy < oh; yy++ {
+				for xx := 0; xx < ow; xx++ {
+					db += float64(dyd[((oc*od+z)*oh+yy)*ow+xx])
+				}
+			}
+		}
+		dbd[oc] += float32(db)
+		for ic := 0; ic < c.InC; ic++ {
+			for kd := 0; kd < k; kd++ {
+				for kh := 0; kh < k; kh++ {
+					for kw := 0; kw < k; kw++ {
+						var acc float64
+						for z := 0; z < od; z++ {
+							zi := z*s + kd - p
+							if zi < 0 || zi >= id {
+								continue
+							}
+							for yy := 0; yy < oh; yy++ {
+								yi := yy*s + kh - p
+								if yi < 0 || yi >= ih {
+									continue
+								}
+								dyRow := ((oc*od+z)*oh + yy) * ow
+								xRow := ((ic*id+zi)*ih + yi) * iw
+								for xx := 0; xx < ow; xx++ {
+									xi := xx*s + kw - p
+									if xi < 0 || xi >= iw {
+										continue
+									}
+									acc += float64(dyd[dyRow+xx]) * float64(xd[xRow+xi])
+								}
+							}
+						}
+						dwd[(((oc*c.InC+ic)*k+kd)*k+kh)*k+kw] += float32(acc)
+					}
+				}
+			}
+		}
+	})
+
+	// Backward data: blocked kernel when the layer geometry allows (§III-C),
+	// generic gather otherwise. Each generic worker owns one input channel.
+	if c.useBlockedBwdData(in, out) {
+		return c.backwardDataBlocked(dy, in)
+	}
+	dx := tensor.New(in...)
+	dxd := dx.Data()
+	c.pool.ForEach(c.InC, 1, func(ic int) {
+		for oc := 0; oc < c.OutC; oc++ {
+			wBase := (oc*c.InC + ic) * k * k * k
+			for z := 0; z < od; z++ {
+				for kd := 0; kd < k; kd++ {
+					zi := z*s + kd - p
+					if zi < 0 || zi >= id {
+						continue
+					}
+					for yy := 0; yy < oh; yy++ {
+						for kh := 0; kh < k; kh++ {
+							yi := yy*s + kh - p
+							if yi < 0 || yi >= ih {
+								continue
+							}
+							dyRow := ((oc*od+z)*oh + yy) * ow
+							dxRow := ((ic*id+zi)*ih + yi) * iw
+							wRow := wBase + (kd*k+kh)*k
+							for xx := 0; xx < ow; xx++ {
+								dyv := float64(dyd[dyRow+xx])
+								if dyv == 0 {
+									continue
+								}
+								for kw := 0; kw < k; kw++ {
+									xi := xx*s + kw - p
+									if xi < 0 || xi >= iw {
+										continue
+									}
+									dxd[dxRow+xi] += float32(float64(wd[wRow+kw]) * dyv)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	})
+	return dx
+}

@@ -1,0 +1,47 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// MSELoss computes the mean-squared-error loss between a prediction vector
+// and its target, returning the scalar loss and the gradient of the loss
+// with respect to the prediction. This is the regression loss CosmoFlow
+// minimizes over the three normalized cosmological parameters.
+func MSELoss(pred *tensor.Tensor, target []float32) (float64, *tensor.Tensor) {
+	n := pred.NumElements()
+	if n != len(target) {
+		panic(fmt.Sprintf("nn: prediction size %d != target size %d", n, len(target)))
+	}
+	grad := tensor.New(pred.Shape()...)
+	pd, gd := pred.Data(), grad.Data()
+	var loss float64
+	inv := 2.0 / float64(n)
+	for i := 0; i < n; i++ {
+		d := float64(pd[i]) - float64(target[i])
+		loss += d * d
+		gd[i] = float32(d * inv)
+	}
+	return loss / float64(n), grad
+}
+
+// MAE returns the mean absolute error between prediction and target,
+// reported alongside the loss in validation summaries.
+func MAE(pred *tensor.Tensor, target []float32) float64 {
+	n := pred.NumElements()
+	if n != len(target) {
+		panic(fmt.Sprintf("nn: prediction size %d != target size %d", n, len(target)))
+	}
+	pd := pred.Data()
+	var s float64
+	for i := 0; i < n; i++ {
+		d := float64(pd[i]) - float64(target[i])
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return s / float64(n)
+}

@@ -1,0 +1,199 @@
+package nn
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/tensor"
+)
+
+// Network is an ordered stack of layers trained end-to-end.
+type Network struct {
+	Layers        []Layer
+	InputDim      int // spatial edge length of the expected [C D D D] input
+	InputChannels int // input channel count; 0 means 1
+}
+
+// Forward runs the full forward pass.
+func (n *Network) Forward(x *tensor.Tensor) *tensor.Tensor {
+	for _, l := range n.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward runs the full backward pass from the loss gradient, accumulating
+// parameter gradients. The gradient w.r.t. the network input is discarded
+// (the first layer's backward-data pass is still executed, as in the
+// profiled runs of Table I).
+func (n *Network) Backward(dy *tensor.Tensor) {
+	n.BackwardWithHook(dy, nil)
+}
+
+// BackwardWithHook runs the backward pass, invoking hook after each layer's
+// gradients are final. The trainer's communication-overlap mode uses this
+// to start aggregating a layer's gradients while earlier layers are still
+// back-propagating — the non-blocking pipelining of the CPE ML Plugin
+// (§III-D).
+func (n *Network) BackwardWithHook(dy *tensor.Tensor, hook func(Layer)) {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		dy = n.Layers[i].Backward(dy)
+		if hook != nil {
+			hook(n.Layers[i])
+		}
+	}
+}
+
+// Params returns every learnable parameter in layer order.
+func (n *Network) Params() []*Param {
+	var ps []*Param
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ParamCount returns the total number of learnable scalars. The paper's
+// network holds slightly over seven million (§V-A).
+func (n *Network) ParamCount() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += p.NumElements()
+	}
+	return total
+}
+
+// ParamBytes returns the total parameter size in bytes (28.15 MB in the
+// paper, §V-A).
+func (n *Network) ParamBytes() int { return 4 * n.ParamCount() }
+
+// ZeroGrads clears all accumulated gradients.
+func (n *Network) ZeroGrads() {
+	for _, p := range n.Params() {
+		p.Grad.Zero()
+	}
+}
+
+// GradSize returns the flattened gradient length (== ParamCount).
+func (n *Network) GradSize() int { return n.ParamCount() }
+
+// FlattenGrads copies all parameter gradients into dst in layer order; dst
+// must have length GradSize. This is the buffer handed to the gradient
+// allreduce (Algorithm 2, step mc.gradients).
+func (n *Network) FlattenGrads(dst []float32) {
+	off := 0
+	for _, p := range n.Params() {
+		g := p.Grad.Data()
+		copy(dst[off:off+len(g)], g)
+		off += len(g)
+	}
+	if off != len(dst) {
+		panic(fmt.Sprintf("nn: FlattenGrads buffer length %d, want %d", len(dst), off))
+	}
+}
+
+// UnflattenGrads scatters src back into the parameter gradients, inverse of
+// FlattenGrads.
+func (n *Network) UnflattenGrads(src []float32) {
+	off := 0
+	for _, p := range n.Params() {
+		g := p.Grad.Data()
+		copy(g, src[off:off+len(g)])
+		off += len(g)
+	}
+	if off != len(src) {
+		panic(fmt.Sprintf("nn: UnflattenGrads buffer length %d, want %d", len(src), off))
+	}
+}
+
+// FlattenParams copies all parameter values into dst in layer order (used
+// to broadcast rank-0 weights at startup, §V-A).
+func (n *Network) FlattenParams(dst []float32) {
+	off := 0
+	for _, p := range n.Params() {
+		v := p.Value.Data()
+		copy(dst[off:off+len(v)], v)
+		off += len(v)
+	}
+}
+
+// UnflattenParams scatters src into the parameter values and invalidates
+// any packed weight caches.
+func (n *Network) UnflattenParams(src []float32) {
+	off := 0
+	for _, p := range n.Params() {
+		v := p.Value.Data()
+		copy(v, src[off:off+len(v)])
+		off += len(v)
+	}
+	n.InvalidateWeights()
+}
+
+// InvalidateWeights notifies layers with packed weight caches that values
+// changed (called by the optimizer after each update).
+func (n *Network) InvalidateWeights() {
+	for _, l := range n.Layers {
+		if c, ok := l.(*Conv3D); ok {
+			c.InvalidateWeights()
+		}
+	}
+}
+
+// InputShape returns the network's expected input shape.
+func (n *Network) InputShape() tensor.Shape {
+	c := n.InputChannels
+	if c < 1 {
+		c = 1
+	}
+	return tensor.Shape{c, n.InputDim, n.InputDim, n.InputDim}
+}
+
+// TotalFLOPs returns the forward and backward FLOP counts for one sample,
+// the quantities behind the paper's 69.33 Gflop/sample figure (§V-A).
+func (n *Network) TotalFLOPs() (fwd, bwd int64) {
+	shape := n.InputShape()
+	for _, l := range n.Layers {
+		fwd += l.FwdFLOPs(shape)
+		bwd += l.BwdFLOPs(shape)
+		shape = l.OutputShape(shape)
+	}
+	return fwd, bwd
+}
+
+// LayerFLOPs returns per-layer forward/backward FLOPs and output shapes,
+// used by the Table-I report.
+type LayerFLOPs struct {
+	Name     string
+	Fwd, Bwd int64
+	OutShape tensor.Shape
+}
+
+// PerLayerFLOPs computes the FLOP breakdown across all layers.
+func (n *Network) PerLayerFLOPs() []LayerFLOPs {
+	shape := n.InputShape()
+	out := make([]LayerFLOPs, 0, len(n.Layers))
+	for _, l := range n.Layers {
+		os := l.OutputShape(shape)
+		out = append(out, LayerFLOPs{Name: l.Name(), Fwd: l.FwdFLOPs(shape), Bwd: l.BwdFLOPs(shape), OutShape: os})
+		shape = os
+	}
+	return out
+}
+
+// Summary renders a human-readable topology table (the Figure-2 analogue).
+func (n *Network) Summary() string {
+	var b strings.Builder
+	shape := n.InputShape()
+	fmt.Fprintf(&b, "%-14s %-18s %12s\n", "layer", "output shape", "params")
+	fmt.Fprintf(&b, "%-14s %-18s %12s\n", "input", shape.String(), "0")
+	for _, l := range n.Layers {
+		shape = l.OutputShape(shape)
+		params := 0
+		for _, p := range l.Params() {
+			params += p.NumElements()
+		}
+		fmt.Fprintf(&b, "%-14s %-18s %12d\n", l.Name(), shape.String(), params)
+	}
+	fmt.Fprintf(&b, "total parameters: %d (%.2f MB)\n", n.ParamCount(), float64(n.ParamBytes())/1e6)
+	return b.String()
+}

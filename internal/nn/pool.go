@@ -1,0 +1,127 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// AvgPool3D is average pooling with a cubic window, used by the CosmoFlow
+// topology with kernel = stride = 2 to halve each spatial dimension while
+// the following convolution doubles the channels (§III-A). As the paper
+// notes, pooling is a constant-weight special case of convolution and is
+// bandwidth-bound.
+type AvgPool3D struct {
+	K      int
+	Stride int
+	name   string
+
+	inShape tensor.Shape
+}
+
+// NewAvgPool3D builds an average-pooling layer.
+func NewAvgPool3D(name string, k, stride int) *AvgPool3D {
+	if k < 1 || stride < 1 {
+		panic(fmt.Sprintf("nn: invalid pooling k=%d stride=%d", k, stride))
+	}
+	return &AvgPool3D{K: k, Stride: stride, name: name}
+}
+
+func (p *AvgPool3D) Name() string     { return p.name }
+func (p *AvgPool3D) Params() []*Param { return nil }
+
+// OutputShape implements Layer. Pooling windows are fully contained (no
+// padding), as in the paper's stride-2 down-sampling.
+func (p *AvgPool3D) OutputShape(in tensor.Shape) tensor.Shape {
+	if len(in) != 4 {
+		panic(fmt.Sprintf("nn: %s expects rank-4 input, got %v", p.name, in))
+	}
+	if in[1] < p.K || in[2] < p.K || in[3] < p.K {
+		panic(fmt.Sprintf("nn: %s input %v smaller than window %d", p.name, in, p.K))
+	}
+	od := (in[1]-p.K)/p.Stride + 1
+	oh := (in[2]-p.K)/p.Stride + 1
+	ow := (in[3]-p.K)/p.Stride + 1
+	if od < 1 || oh < 1 || ow < 1 {
+		panic(fmt.Sprintf("nn: %s output would be empty for input %v", p.name, in))
+	}
+	return tensor.Shape{in[0], od, oh, ow}
+}
+
+// FwdFLOPs counts one add per window element plus the final scale.
+func (p *AvgPool3D) FwdFLOPs(in tensor.Shape) int64 {
+	out := p.OutputShape(in)
+	vox := int64(out[0]) * int64(out[1]) * int64(out[2]) * int64(out[3])
+	return vox * int64(p.K*p.K*p.K+1)
+}
+
+// BwdFLOPs counts one scaled scatter-add per window element.
+func (p *AvgPool3D) BwdFLOPs(in tensor.Shape) int64 { return p.FwdFLOPs(in) }
+
+// Forward implements Layer.
+func (p *AvgPool3D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	in := x.Shape()
+	p.inShape = in.Clone()
+	out := p.OutputShape(in)
+	ch, id, ih, iw := in[0], in[1], in[2], in[3]
+	od, oh, ow := out[1], out[2], out[3]
+	y := tensor.New(out...)
+	xd, yd := x.Data(), y.Data()
+	inv := 1 / float32(p.K*p.K*p.K)
+	for c := 0; c < ch; c++ {
+		for z := 0; z < od; z++ {
+			for yy := 0; yy < oh; yy++ {
+				for xx := 0; xx < ow; xx++ {
+					var acc float32
+					for kd := 0; kd < p.K; kd++ {
+						zi := z*p.Stride + kd
+						for kh := 0; kh < p.K; kh++ {
+							yi := yy*p.Stride + kh
+							row := ((c*id+zi)*ih + yi) * iw
+							for kw := 0; kw < p.K; kw++ {
+								acc += xd[row+xx*p.Stride+kw]
+							}
+						}
+					}
+					yd[((c*od+z)*oh+yy)*ow+xx] = acc * inv
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer: the gradient of each output voxel is spread
+// uniformly over its window.
+func (p *AvgPool3D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	if p.inShape == nil {
+		panic("nn: AvgPool3D.Backward called before Forward")
+	}
+	in := p.inShape
+	out := dy.Shape()
+	ch, id, ih, iw := in[0], in[1], in[2], in[3]
+	od, oh, ow := out[1], out[2], out[3]
+	dx := tensor.New(in...)
+	dxd, dyd := dx.Data(), dy.Data()
+	inv := 1 / float32(p.K*p.K*p.K)
+	for c := 0; c < ch; c++ {
+		for z := 0; z < od; z++ {
+			for yy := 0; yy < oh; yy++ {
+				for xx := 0; xx < ow; xx++ {
+					g := dyd[((c*od+z)*oh+yy)*ow+xx] * inv
+					for kd := 0; kd < p.K; kd++ {
+						zi := z*p.Stride + kd
+						for kh := 0; kh < p.K; kh++ {
+							yi := yy*p.Stride + kh
+							row := ((c*id+zi)*ih + yi) * iw
+							for kw := 0; kw < p.K; kw++ {
+								dxd[row+xx*p.Stride+kw] += g
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}

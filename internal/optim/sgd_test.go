@@ -1,0 +1,84 @@
+package optim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func sgdParam(vals []float32) *nn.Param {
+	return &nn.Param{
+		Name:  "p",
+		Value: tensor.FromData(append([]float32(nil), vals...), len(vals)),
+		Grad:  tensor.New(len(vals)),
+	}
+}
+
+func TestSGDMomentumFirstStep(t *testing.T) {
+	p := sgdParam([]float32{1})
+	p.Grad.Data()[0] = 0.5
+	o := NewSGDMomentum([]*nn.Param{p}, 0.9, PolySchedule{Eta0: 0.1, EtaMin: 0.1, DecaySteps: 1}, 0)
+	o.Step()
+	// v = -0.1·0.5 = -0.05; w = 1 - 0.05.
+	if got := p.Value.Data()[0]; math.Abs(float64(got)-0.95) > 1e-6 {
+		t.Errorf("after first step w = %v, want 0.95", got)
+	}
+}
+
+func TestSGDMomentumAccumulatesVelocity(t *testing.T) {
+	p := sgdParam([]float32{0})
+	o := NewSGDMomentum([]*nn.Param{p}, 0.9, PolySchedule{Eta0: 0.1, EtaMin: 0.1, DecaySteps: 1}, 0)
+	// Constant gradient 1: velocity magnitude grows toward η/(1−μ) = 1.
+	for i := 0; i < 200; i++ {
+		p.Grad.Data()[0] = 1
+		o.Step()
+	}
+	// After many steps the per-step displacement approaches -1.
+	before := p.Value.Data()[0]
+	p.Grad.Data()[0] = 1
+	o.Step()
+	delta := float64(p.Value.Data()[0] - before)
+	if math.Abs(delta+1) > 0.05 {
+		t.Errorf("terminal velocity %v, want ≈ -1 (η/(1-μ))", delta)
+	}
+}
+
+func TestSGDMomentumConvergesOnQuadratic(t *testing.T) {
+	p := sgdParam([]float32{0})
+	o := NewSGDMomentum([]*nn.Param{p}, 0.9, PolySchedule{Eta0: 0.02, EtaMin: 0.02, DecaySteps: 1}, 0)
+	for i := 0; i < 800; i++ {
+		p.Grad.Data()[0] = p.Value.Data()[0] - 3
+		o.Step()
+	}
+	if got := p.Value.Data()[0]; math.Abs(float64(got)-3) > 0.05 {
+		t.Errorf("converged to %v, want 3", got)
+	}
+}
+
+func TestSGDMomentumWithLARC(t *testing.T) {
+	// LARC clips the effective rate: a huge gradient against a small
+	// weight must be scaled down rather than exploding.
+	p := sgdParam([]float32{0.01})
+	p.Grad.Data()[0] = 1000
+	o := NewSGDMomentum([]*nn.Param{p}, 0.9, PolySchedule{Eta0: 0.1, EtaMin: 0.1, DecaySteps: 1}, 0.002)
+	o.Step()
+	// LARC scale = 0.002·0.01/1000 = 2e-8; update = 0.1·2e-8·1000 = 2e-6.
+	if got := p.Value.Data()[0]; math.Abs(float64(got)-0.01) > 1e-5 {
+		t.Errorf("LARC failed to clip: w = %v", got)
+	}
+}
+
+func TestSGDMomentumScheduleAdvances(t *testing.T) {
+	p := sgdParam([]float32{1})
+	o := NewSGDMomentum([]*nn.Param{p}, 0, PolySchedule{DecaySteps: 10}, 0)
+	lr0 := o.LR()
+	o.Step()
+	if o.StepCount() != 1 || o.LR() >= lr0 {
+		t.Error("schedule did not advance")
+	}
+	if o.Momentum != 0.9 {
+		t.Errorf("default momentum %v", o.Momentum)
+	}
+}

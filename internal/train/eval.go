@@ -1,0 +1,109 @@
+package train
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/cosmo"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// newShardRNG builds the deterministic permutation source used by the data
+// sharder; factored out so tests can reproduce shard orders.
+func newShardRNG(seed int64, epoch int) *rand.Rand {
+	return rand.New(rand.NewSource(seed ^ int64(epoch)*0x9E3779B9))
+}
+
+// Predict runs the network on one sample and returns the normalized
+// three-parameter prediction.
+func Predict(net *nn.Network, s *cosmo.Sample) [3]float32 {
+	x := tensor.FromData(s.Voxels, s.NumChannels(), s.Dim, s.Dim, s.Dim)
+	y := net.Forward(x)
+	var out [3]float32
+	copy(out[:], y.Data())
+	return out
+}
+
+// Estimate holds one test sample's true and predicted physical parameters.
+type Estimate struct {
+	True, Pred cosmo.Params
+}
+
+// Evaluate predicts every test sample and denormalizes through the priors,
+// producing the scatter data behind Figure 6.
+func Evaluate(net *nn.Network, testSet []*cosmo.Sample, priors cosmo.Priors) []Estimate {
+	out := make([]Estimate, 0, len(testSet))
+	for _, s := range testSet {
+		pred := Predict(net, s)
+		out = append(out, Estimate{
+			True: priors.Denormalize(s.Target),
+			Pred: priors.Denormalize(pred),
+		})
+	}
+	return out
+}
+
+// RelativeErrors computes the paper's per-parameter average relative error
+// |pred − true| / |pred| (§VII-A uses the model estimate in the
+// denominator) over a set of estimates, returned in (ΩM, σ8, ns) order.
+func RelativeErrors(estimates []Estimate) [3]float64 {
+	var sums [3]float64
+	for _, e := range estimates {
+		p := e.Pred.Vector()
+		tr := e.True.Vector()
+		for i := 0; i < 3; i++ {
+			den := math.Abs(p[i])
+			if den < 1e-12 {
+				den = 1e-12
+			}
+			sums[i] += math.Abs(p[i]-tr[i]) / den
+		}
+	}
+	n := float64(len(estimates))
+	if n == 0 {
+		return sums
+	}
+	for i := range sums {
+		sums[i] /= n
+	}
+	return sums
+}
+
+// FormatEstimates renders a Figure-6-style table of estimates.
+func FormatEstimates(estimates []Estimate) string {
+	s := fmt.Sprintf("%-28s %-28s\n", "true (ΩM, σ8, ns)", "predicted (ΩM, σ8, ns)")
+	for _, e := range estimates {
+		s += fmt.Sprintf("%.4f %.4f %.4f           %.4f %.4f %.4f\n",
+			e.True.OmegaM, e.True.Sigma8, e.True.NS,
+			e.Pred.OmegaM, e.Pred.Sigma8, e.Pred.NS)
+	}
+	return s
+}
+
+// SustainedFlops converts a result's throughput into sustained Flop/s using
+// the network's per-sample FLOP count — the metric behind the paper's
+// 535 Gflop/s single-node and 3.5 Pflop/s full-scale figures (§V-B, §V-D).
+func SustainedFlops(res *Result) float64 {
+	if len(res.Epochs) == 0 {
+		return 0
+	}
+	fwd, bwd := res.Net.TotalFLOPs()
+	perSample := float64(fwd + bwd)
+	// Average samples/sec over epochs after the first (the paper excludes
+	// warm-up epochs from its averages, §V-C).
+	var rate float64
+	var n int
+	for i, e := range res.Epochs {
+		if i == 0 && len(res.Epochs) > 1 {
+			continue
+		}
+		rate += e.SamplesSec
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return perSample * rate / float64(n)
+}

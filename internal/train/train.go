@@ -1,0 +1,353 @@
+// Package train implements CosmoFlow's fully synchronous data-parallel
+// training loop (Algorithm 2): every rank is a worker with mini-batch size
+// one, gradients are averaged with a collective allreduce after every step,
+// and all ranks apply identical optimizer updates, so the replicas remain
+// bit-wise synchronized without a parameter server.
+package train
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/cosmo"
+	"repro/internal/nn"
+	"repro/internal/optim"
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// Config controls a training run.
+type Config struct {
+	// Ranks is the number of data-parallel workers (MPI ranks in the
+	// paper; in-process goroutine workers here). The effective global
+	// batch size equals Ranks, since each rank processes one sample per
+	// step (§III-B).
+	Ranks int
+	// Epochs is the number of passes over the training set.
+	Epochs int
+	// Topology configures the per-rank network replica.
+	Topology nn.TopologyConfig
+	// Optim configures Adam+LARC; Schedule.DecaySteps of 0 is replaced by
+	// the total step count so the polynomial decay spans the whole run.
+	Optim optim.Config
+	// Algorithm selects the gradient allreduce; Helpers the helper-team
+	// count (§III-D).
+	Algorithm comm.Algorithm
+	Helpers   int
+	// WorkersPerRank sizes each rank's intra-node compute pool.
+	WorkersPerRank int
+	// Profile enables the Figure-3 time breakdown on rank 0.
+	Profile bool
+	// Seed controls data sharding order.
+	Seed int64
+	// CheckpointPath, when set, makes rank 0 save the model every
+	// CheckpointEvery epochs (default: every epoch). The paper's
+	// multi-epoch campaigns depend on restartability.
+	CheckpointPath  string
+	CheckpointEvery int
+	// ResumeFrom, when set, loads a checkpoint into rank 0 before the
+	// initial parameter broadcast, so every replica resumes from it.
+	ResumeFrom string
+	// OverlapComm starts each layer's gradient aggregation as soon as its
+	// backward pass completes, overlapping communication with the
+	// remaining back-propagation — the non-blocking pipelining the CPE ML
+	// Plugin uses to hide straggler imbalance (§III-D).
+	OverlapComm bool
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Ranks < 1 {
+		return fmt.Errorf("train: Ranks %d must be positive", c.Ranks)
+	}
+	if c.Epochs < 1 {
+		return fmt.Errorf("train: Epochs %d must be positive", c.Epochs)
+	}
+	return c.Topology.Validate()
+}
+
+// EpochStats summarizes one epoch.
+type EpochStats struct {
+	Epoch      int
+	TrainLoss  float64 // global average training loss
+	ValLoss    float64 // global average validation loss (NaN if no val set)
+	Duration   time.Duration
+	Steps      int // steps per rank
+	SamplesSec float64 // global samples/second
+}
+
+// Result is the outcome of a training run.
+type Result struct {
+	Epochs    []EpochStats
+	Net       *nn.Network // rank 0's trained replica
+	Profile   *Profile    // non-nil when Config.Profile is set
+	GradBytes int         // allreduce message size (28.15 MB in the paper)
+	TotalTime time.Duration
+}
+
+// FinalTrainLoss returns the last epoch's training loss.
+func (r *Result) FinalTrainLoss() float64 { return r.Epochs[len(r.Epochs)-1].TrainLoss }
+
+// FinalValLoss returns the last epoch's validation loss.
+func (r *Result) FinalValLoss() float64 { return r.Epochs[len(r.Epochs)-1].ValLoss }
+
+// Run trains on the given training samples with periodic validation,
+// returning per-epoch statistics and the trained network. All ranks run in
+// this process; rank 0's replica is returned (all replicas are identical at
+// completion by construction).
+func Run(cfg Config, trainSet, valSet []*cosmo.Sample) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(trainSet) < cfg.Ranks {
+		return nil, fmt.Errorf("train: %d training samples for %d ranks; SSGD requires at least one sample per rank (§VII-B)", len(trainSet), cfg.Ranks)
+	}
+	world, err := comm.NewWorld(cfg.Ranks, comm.WithAlgorithm(cfg.Algorithm), comm.WithHelpers(cfg.Helpers))
+	if err != nil {
+		return nil, err
+	}
+
+	stepsPerEpoch := len(trainSet) / cfg.Ranks
+	totalSteps := stepsPerEpoch * cfg.Epochs
+	if cfg.Optim.Schedule.DecaySteps == 0 {
+		if cfg.Optim.Schedule.Eta0 == 0 && cfg.Optim.Schedule.EtaMin == 0 {
+			cfg.Optim.Schedule = optim.DefaultSchedule(totalSteps)
+		} else {
+			// Caller chose the rates; span the decay over the whole run.
+			cfg.Optim.Schedule.DecaySteps = totalSteps
+		}
+	}
+
+	nets := make([]*nn.Network, cfg.Ranks)
+	pools := make([]*parallel.Pool, cfg.Ranks)
+	defer func() {
+		for _, p := range pools {
+			if p != nil {
+				p.Close()
+			}
+		}
+	}()
+	for r := 0; r < cfg.Ranks; r++ {
+		topo := cfg.Topology
+		topo.Seed += int64(r) // differing inits; broadcast below equalizes
+		pools[r] = parallel.NewPool(cfg.WorkersPerRank)
+		topo.Pool = pools[r]
+		n, err := nn.BuildCosmoFlow(topo)
+		if err != nil {
+			return nil, err
+		}
+		nets[r] = n
+	}
+
+	res := &Result{GradBytes: 4 * nets[0].GradSize()}
+	res.Epochs = make([]EpochStats, cfg.Epochs)
+	var profile *Profile
+	if cfg.Profile {
+		profile = NewProfile()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make([]error, cfg.Ranks)
+	for r := 0; r < cfg.Ranks; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			errs[rank] = runRank(cfg, rank, world.Comm(rank), nets[rank], trainSet, valSet,
+				stepsPerEpoch, profile, res)
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	res.TotalTime = time.Since(start)
+	res.Net = nets[0]
+	res.Profile = profile
+	return res, nil
+}
+
+// runRank executes Algorithm 2 for one rank. Epoch statistics are written
+// by rank 0 only; the loss values it records are already globally averaged
+// through the collectives, so no extra synchronization is needed beyond the
+// collectives themselves.
+func runRank(cfg Config, rank int, c *comm.Comm, net *nn.Network,
+	trainSet, valSet []*cosmo.Sample, stepsPerEpoch int,
+	profile *Profile, res *Result) error {
+
+	// Broadcast rank-0 initial parameters so all replicas start identical
+	// (§V-A). A resume checkpoint, if any, is loaded first and therefore
+	// reaches every replica through the same broadcast.
+	if rank == 0 && cfg.ResumeFrom != "" {
+		if err := net.LoadCheckpointFile(cfg.ResumeFrom); err != nil {
+			return fmt.Errorf("train: resuming from %s: %w", cfg.ResumeFrom, err)
+		}
+	}
+	params := make([]float32, net.ParamCount())
+	if rank == 0 {
+		net.FlattenParams(params)
+	}
+	c.Broadcast(params, 0)
+	net.UnflattenParams(params)
+
+	opt := optim.New(net.Params(), cfg.Optim)
+	gradBuf := make([]float32, net.GradSize())
+	shard := &shardIterator{samples: trainSet, ranks: cfg.Ranks, rank: rank, seed: cfg.Seed}
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		epochStart := time.Now()
+		shard.startEpoch(epoch)
+		var lossSum float64
+		for step := 0; step < stepsPerEpoch; step++ {
+			ioStart := time.Now()
+			sample := shard.next()
+			x := tensor.FromData(sample.Voxels, sample.NumChannels(), sample.Dim, sample.Dim, sample.Dim)
+			if profile != nil && rank == 0 {
+				profile.Add(CatIO, time.Since(ioStart))
+				profile.Steps++
+			}
+
+			net.ZeroGrads()
+			var pred *tensor.Tensor
+			if profile != nil && rank == 0 {
+				pred = forwardProfiled(net, x, profile)
+			} else {
+				pred = net.Forward(x)
+			}
+			loss, grad := nn.MSELoss(pred, sample.Target[:])
+			lossSum += loss
+
+			if cfg.OverlapComm {
+				// Pipeline: a dedicated comm goroutine aggregates each
+				// layer's gradients the moment backward finishes with it.
+				// Buckets are issued in deterministic reverse-layer order
+				// on every rank, so the per-tag FIFO streams line up.
+				bucketCh := make(chan []*nn.Param, len(net.Layers))
+				commDone := make(chan struct{})
+				go func() {
+					defer close(commDone)
+					for ps := range bucketCh {
+						for _, p := range ps {
+							c.AllReduceMean(p.Grad.Data())
+						}
+					}
+				}()
+				commStart := time.Now()
+				net.BackwardWithHook(grad, func(l nn.Layer) {
+					if ps := l.Params(); len(ps) > 0 {
+						bucketCh <- ps
+					}
+				})
+				close(bucketCh)
+				<-commDone
+				if profile != nil && rank == 0 {
+					profile.Add(CatComms, time.Since(commStart))
+				}
+			} else {
+				if profile != nil && rank == 0 {
+					backwardProfiled(net, grad, profile)
+				} else {
+					net.Backward(grad)
+				}
+				commStart := time.Now()
+				net.FlattenGrads(gradBuf)
+				c.AllReduceMean(gradBuf)
+				net.UnflattenGrads(gradBuf)
+				if profile != nil && rank == 0 {
+					profile.Add(CatComms, time.Since(commStart))
+				}
+			}
+
+			optStart := time.Now()
+			opt.Step()
+			net.InvalidateWeights()
+			if profile != nil && rank == 0 {
+				profile.Add(CatOptimizer, time.Since(optStart))
+			}
+		}
+
+		// Global training-loss average across ranks and steps.
+		globalLoss := c.AllReduceScalar(lossSum) / float64(cfg.Ranks*stepsPerEpoch)
+
+		// Validation: each rank scores its strided shard; the collective
+		// averages globally.
+		valLoss := validate(c, net, valSet, rank, cfg.Ranks)
+
+		if rank == 0 && cfg.CheckpointPath != "" {
+			every := cfg.CheckpointEvery
+			if every <= 0 {
+				every = 1
+			}
+			if (epoch+1)%every == 0 || epoch == cfg.Epochs-1 {
+				if err := net.SaveCheckpointFile(cfg.CheckpointPath); err != nil {
+					return fmt.Errorf("train: checkpointing epoch %d: %w", epoch, err)
+				}
+			}
+		}
+		if rank == 0 {
+			res.Epochs[epoch] = EpochStats{
+				Epoch:     epoch,
+				TrainLoss: globalLoss,
+				ValLoss:   valLoss,
+				Duration:  time.Since(epochStart),
+				Steps:     stepsPerEpoch,
+				SamplesSec: float64(cfg.Ranks*stepsPerEpoch) /
+					time.Since(epochStart).Seconds(),
+			}
+		}
+		c.Barrier()
+	}
+	return nil
+}
+
+// validate computes the globally averaged validation loss.
+func validate(c *comm.Comm, net *nn.Network, valSet []*cosmo.Sample, rank, ranks int) float64 {
+	var sum float64
+	var count float64
+	for i := rank; i < len(valSet); i += ranks {
+		s := valSet[i]
+		x := tensor.FromData(s.Voxels, s.NumChannels(), s.Dim, s.Dim, s.Dim)
+		loss, _ := nn.MSELoss(net.Forward(x), s.Target[:])
+		sum += loss
+		count++
+	}
+	totalSum := c.AllReduceScalar(sum)
+	totalCount := c.AllReduceScalar(count)
+	if totalCount == 0 {
+		return 0
+	}
+	return totalSum / totalCount
+}
+
+// shardIterator deals samples to ranks: a deterministic epoch-dependent
+// permutation of the training set, strided by rank, mirroring the random
+// TFRecord assignment of §IV-C.
+type shardIterator struct {
+	samples []*cosmo.Sample
+	ranks   int
+	rank    int
+	seed    int64
+	order   []int
+	pos     int
+}
+
+func (s *shardIterator) startEpoch(epoch int) {
+	rng := newShardRNG(s.seed, epoch)
+	s.order = rng.Perm(len(s.samples))
+	s.pos = s.rank
+}
+
+func (s *shardIterator) next() *cosmo.Sample {
+	if s.pos >= len(s.order) {
+		// Wrap: epochs truncate to equal per-rank step counts, so this is
+		// only reached if callers over-iterate.
+		s.pos = s.rank
+	}
+	sample := s.samples[s.order[s.pos]]
+	s.pos += s.ranks
+	return sample
+}
