@@ -1,0 +1,39 @@
+# Tier-1 verification plus formatting/vet gates. `make check` is the
+# everything-must-pass target CI and pre-commit hooks should run.
+
+GO ?= go
+
+.PHONY: check fmt vet build test bench serve-smoke
+
+check: fmt vet build test
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Full benchmark sweep (minutes); see EXPERIMENTS.md for the record.
+bench:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# End-to-end serving smoke: daemon + >=64-request concurrent load, then a
+# graceful SIGTERM drain (the ISSUE acceptance run).
+serve-smoke:
+	$(GO) build -o /tmp/cosmoflow-serve ./cmd/cosmoflow-serve
+	$(GO) build -o /tmp/cosmoflow-loadgen ./cmd/cosmoflow-loadgen
+	/tmp/cosmoflow-serve -addr 127.0.0.1:18080 -dim 16 -base 4 & \
+		pid=$$!; \
+		for i in $$(seq 1 50); do \
+			curl -sf http://127.0.0.1:18080/healthz >/dev/null 2>&1 && break; \
+			sleep 0.2; \
+		done; \
+		/tmp/cosmoflow-loadgen -addr http://127.0.0.1:18080 -n 128 -c 8 -dim 16; \
+		rc=$$?; kill -TERM $$pid; wait $$pid; exit $$rc

@@ -8,10 +8,13 @@
 package repro
 
 import (
+	"fmt"
 	"math/rand"
 	"os"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/core"
@@ -21,6 +24,7 @@ import (
 	"repro/internal/nn"
 	"repro/internal/optim"
 	"repro/internal/parallel"
+	"repro/internal/serve"
 	"repro/internal/stats"
 	"repro/internal/tensor"
 	"repro/internal/tfrecord"
@@ -406,6 +410,74 @@ func BenchmarkAblation_LARC(b *testing.B) {
 			b.ReportMetric(loss, "final-loss")
 		})
 	}
+}
+
+// BenchmarkServing_ReplicaPool measures the inference-serving subsystem:
+// concurrent closed-loop clients issuing predictions through the
+// micro-batcher into replica pools of different sizes. Throughput should
+// scale with the replica count until the cores are covered — the
+// worker-parameterized serving scenario behind cosmoflow-serve.
+func BenchmarkServing_ReplicaPool(b *testing.B) {
+	const dim = 16
+	samples := benchSamples(32, dim, 101)
+	for _, replicas := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("replicas%d", replicas), func(b *testing.B) {
+			reg := serve.NewRegistry()
+			defer reg.Close()
+			m, err := reg.Load(serve.ModelConfig{
+				Topology: nn.TopologyConfig{InputDim: dim, BaseChannels: 4, Seed: 1},
+				Replicas: replicas,
+				MaxBatch: 8,
+				MaxDelay: time.Millisecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var next atomic.Int64
+			b.SetParallelism(2) // 2×GOMAXPROCS closed-loop clients
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := int(next.Add(1)) % len(samples)
+					if _, err := m.Predict(samples[i].Voxels); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			st := m.Stats()
+			if st.Batches > 0 {
+				b.ReportMetric(st.AvgBatch, "avg-batch")
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "req/s")
+		})
+	}
+}
+
+// BenchmarkServing_PredictorAlloc measures the per-request allocation of
+// the serving hot path's reusable predictor against the one-shot
+// train.Predict.
+func BenchmarkServing_PredictorAlloc(b *testing.B) {
+	net, err := nn.BuildCosmoFlow(nn.TopologyConfig{InputDim: 16, BaseChannels: 4, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := benchSamples(1, 16, 111)[0]
+	b.Run("one-shot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			train.Predict(net, s)
+		}
+	})
+	b.Run("predictor", func(b *testing.B) {
+		p := train.NewPredictor(net)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.Predict(s)
+		}
+	})
 }
 
 // BenchmarkCosmoSimulation times one full synthetic simulation (IC +

@@ -1,0 +1,163 @@
+// Command cosmoflow-loadgen is a closed-loop load generator for
+// cosmoflow-serve: c workers each keep one request in flight against
+// /predict until n requests complete, then it reports achieved QPS and the
+// latency distribution (p50/p90/p99) — the measurement harness for the
+// serving subsystem, in the spirit of the paper's scaling methodology
+// (fixed work per worker, wall-clock throughput).
+//
+// Usage:
+//
+//	cosmoflow-loadgen -addr http://localhost:8080 -n 256 -c 8 -dim 16
+//
+// Exit status is non-zero if any request fails, so scripts can assert the
+// zero-error acceptance criterion.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cosmo"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cosmoflow-loadgen: ")
+
+	addr := flag.String("addr", "http://localhost:8080", "cosmoflow-serve base URL")
+	model := flag.String("model", "", "model name (empty: server default)")
+	n := flag.Int("n", 256, "total requests")
+	c := flag.Int("c", 8, "concurrent workers (closed loop: one request in flight each)")
+	dim := flag.Int("dim", 16, "voxel edge length of generated request volumes")
+	channels := flag.Int("channels", 1, "input channels of generated request volumes")
+	seed := flag.Int64("seed", 1, "synthetic sample seed")
+	flag.Parse()
+	if *n < 1 || *c < 1 {
+		log.Fatal("-n and -c must be positive")
+	}
+
+	// Pre-generate a pool of deterministic synthetic volumes so request
+	// construction stays off the measured path.
+	nSamples := *c * 4
+	if nSamples > *n {
+		nSamples = *n
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	bodies := make([][]byte, nSamples)
+	for i := range bodies {
+		target := [3]float32{rng.Float32(), rng.Float32(), rng.Float32()}
+		s := cosmo.SyntheticSample(*dim, target, rng.Int63())
+		vox := s.Voxels
+		if *channels > 1 {
+			vox = make([]float32, 0, *channels*len(s.Voxels))
+			for ch := 0; ch < *channels; ch++ {
+				vox = append(vox, s.Voxels...)
+			}
+		}
+		body, err := json.Marshal(serve.PredictRequest{Model: *model, Voxels: vox})
+		if err != nil {
+			log.Fatal(err)
+		}
+		bodies[i] = body
+	}
+
+	client := &http.Client{Timeout: 60 * time.Second}
+	var next atomic.Int64
+	var failures atomic.Int64
+	latencies := make([]time.Duration, *n)
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	for w := 0; w < *c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= *n {
+					return
+				}
+				t0 := time.Now()
+				err := post(client, *addr+"/predict", bodies[i%len(bodies)])
+				if err != nil {
+					// Excluded from the latency distribution: a fast
+					// connection-refused or a slow client timeout would
+					// both misrepresent the server.
+					latencies[i] = -1
+					failures.Add(1)
+					log.Printf("request %d: %v", i, err)
+					continue
+				}
+				latencies[i] = time.Since(t0)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Successful requests only: failures would skew both tails.
+	ok := latencies[:0]
+	for _, l := range latencies {
+		if l >= 0 {
+			ok = append(ok, l)
+		}
+	}
+	fails := failures.Load()
+	fmt.Printf("requests:    %d (%d failed)\n", *n, fails)
+	fmt.Printf("concurrency: %d workers (closed loop)\n", *c)
+	fmt.Printf("elapsed:     %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput:  %.1f successful requests/s\n", float64(len(ok))/elapsed.Seconds())
+	if len(ok) > 0 {
+		sort.Slice(ok, func(i, j int) bool { return ok[i] < ok[j] })
+		var sum time.Duration
+		for _, l := range ok {
+			sum += l
+		}
+		q := func(p float64) time.Duration {
+			i := int(p * float64(len(ok)))
+			if i >= len(ok) {
+				i = len(ok) - 1
+			}
+			return ok[i]
+		}
+		fmt.Printf("latency:     mean %v  p50 %v  p90 %v  p99 %v  max %v\n",
+			(sum / time.Duration(len(ok))).Round(time.Microsecond),
+			q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
+			q(0.99).Round(time.Microsecond), ok[len(ok)-1].Round(time.Microsecond))
+	}
+	if fails > 0 {
+		os.Exit(1)
+	}
+}
+
+// post issues one prediction and fully consumes the response so the
+// client's keep-alive connection is reusable.
+func post(client *http.Client, url string, body []byte) error {
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("status %d: %s", resp.StatusCode, msg)
+	}
+	var pr serve.PredictResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return fmt.Errorf("decoding response: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}

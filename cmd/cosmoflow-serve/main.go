@@ -1,0 +1,100 @@
+// Command cosmoflow-serve is the inference daemon: it loads a trained
+// checkpoint into a replica pool behind a dynamic micro-batcher and serves
+// predictions over HTTP — the ROADMAP's "serve heavy traffic" path on top
+// of the paper's trained network.
+//
+// Usage:
+//
+//	cosmoflow-serve -ckpt model.ckpt -dim 16 -base 4 -addr :8080
+//
+// Endpoints:
+//
+//	POST /predict  {"model":"default","voxels":[...]} -> predicted parameters
+//	GET  /healthz  liveness + loaded models
+//	GET  /stats    request counters, micro-batch sizes, latency quantiles
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: the listener closes,
+// admitted requests drain through their micro-batches, then the replicas
+// are released.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/nn"
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cosmoflow-serve: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	ckpt := flag.String("ckpt", "", "checkpoint file written by the trainer (empty: fresh weights, for load testing only)")
+	name := flag.String("name", serve.DefaultModel, "model name in the registry")
+	dim := flag.Int("dim", 16, "voxel edge length the checkpoint was trained with")
+	base := flag.Int("base", 4, "base channel count the checkpoint was trained with")
+	channels := flag.Int("channels", 1, "input channels the checkpoint was trained with")
+	replicas := flag.Int("replicas", runtime.GOMAXPROCS(0), "concurrent inference replicas (weight-sharing network clones)")
+	workers := flag.Int("workers", 1, "compute-pool workers per replica")
+	maxBatch := flag.Int("max-batch", 8, "micro-batch size cap")
+	maxDelay := flag.Duration("max-delay", 2*time.Millisecond, "micro-batch coalescing deadline")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
+	flag.Parse()
+
+	if *ckpt == "" {
+		log.Print("warning: no -ckpt given; serving freshly initialized weights")
+	}
+	reg := serve.NewRegistry()
+	m, err := reg.Load(serve.ModelConfig{
+		Name: *name,
+		Topology: nn.TopologyConfig{
+			InputDim:      *dim,
+			InputChannels: *channels,
+			BaseChannels:  *base,
+			Seed:          1,
+		},
+		CheckpointPath:    *ckpt,
+		Replicas:          *replicas,
+		WorkersPerReplica: *workers,
+		MaxBatch:          *maxBatch,
+		MaxDelay:          *maxDelay,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("model %q: input %v, %d replicas x %d workers, max-batch %d, max-delay %v",
+		m.Name(), m.InputShape(), m.Replicas(), *workers, *maxBatch, *maxDelay)
+
+	srv := serve.NewServer(reg, *addr)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("listening on %s", *addr)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("received %v; draining (budget %v)", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+		st := m.Stats()
+		log.Printf("drained: %d requests served, %d errors, avg batch %.2f, p50 %.2fms, p99 %.2fms",
+			st.Requests, st.Errors, st.AvgBatch, st.P50Ms, st.P99Ms)
+	case err := <-errCh:
+		if err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}
+}

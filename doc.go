@@ -11,8 +11,12 @@
 // (internal/tfrecord, internal/iopipe), a synthetic cosmology data generator
 // built on a pure-Go 3D FFT (internal/cosmo, internal/fft), a calibrated
 // cluster model that regenerates the paper's 8192-node scaling results
-// (internal/hpcsim), and the traditional power-spectrum statistics baseline
-// (internal/stats).
+// (internal/hpcsim), the traditional power-spectrum statistics baseline
+// (internal/stats), and a concurrent batched inference serving subsystem —
+// model registry with hot-swap, replica pools of weight-sharing network
+// clones, dynamic micro-batching, stdlib-only HTTP JSON API
+// (internal/serve) — behind the cosmoflow-serve daemon and the
+// cosmoflow-loadgen load generator.
 //
 // See DESIGN.md for the system inventory, EXPERIMENTS.md for the
 // paper-versus-measured record of every table and figure, and bench_test.go

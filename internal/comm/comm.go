@@ -396,9 +396,9 @@ func (c *Comm) AllGather(local, out []float32) {
 	next := (r + 1) % n
 	prev := (r - 1 + n) % n
 	for s := 0; s < n-1; s++ {
-		src := ((r - s) % n + n) % n
+		src := ((r-s)%n + n) % n
 		c.send(next, 0, out[src*len(local):(src+1)*len(local)])
-		dst := ((r - s - 1) % n + n) % n
+		dst := ((r-s-1)%n + n) % n
 		got := c.recv(prev, 0)
 		copy(out[dst*len(local):(dst+1)*len(local)], got)
 	}

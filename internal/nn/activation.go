@@ -42,6 +42,12 @@ func (l *LeakyReLU) BwdFLOPs(in tensor.Shape) int64 { return int64(in.NumElement
 // Forward implements Layer.
 func (l *LeakyReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
 	l.x = x
+	return l.apply(x)
+}
+
+// apply computes the activation without caching the input, shared by the
+// training Forward and the inference-only Infer paths.
+func (l *LeakyReLU) apply(x *tensor.Tensor) *tensor.Tensor {
 	y := tensor.New(x.Shape()...)
 	xd, yd := x.Data(), y.Data()
 	a := l.Alpha

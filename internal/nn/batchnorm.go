@@ -178,11 +178,11 @@ func NewDropout(name string, rate float32, seed int64) *Dropout {
 	return &Dropout{Rate: rate, Train: true, name: name, seed: seed}
 }
 
-func (d *Dropout) Name() string                              { return d.name }
-func (d *Dropout) Params() []*Param                          { return nil }
-func (d *Dropout) OutputShape(in tensor.Shape) tensor.Shape  { return in.Clone() }
-func (d *Dropout) FwdFLOPs(in tensor.Shape) int64            { return int64(in.NumElements()) }
-func (d *Dropout) BwdFLOPs(in tensor.Shape) int64            { return int64(in.NumElements()) }
+func (d *Dropout) Name() string                             { return d.name }
+func (d *Dropout) Params() []*Param                         { return nil }
+func (d *Dropout) OutputShape(in tensor.Shape) tensor.Shape { return in.Clone() }
+func (d *Dropout) FwdFLOPs(in tensor.Shape) int64           { return int64(in.NumElements()) }
+func (d *Dropout) BwdFLOPs(in tensor.Shape) int64           { return int64(in.NumElements()) }
 
 // Forward implements Layer.
 func (d *Dropout) Forward(x *tensor.Tensor) *tensor.Tensor {

@@ -1,0 +1,158 @@
+package nn
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func testNet(t testing.TB) *Network {
+	t.Helper()
+	net, err := BuildCosmoFlow(TopologyConfig{InputDim: 8, BaseChannels: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func randInput(net *Network, seed int64) *tensor.Tensor {
+	x := tensor.New(net.InputShape()...)
+	x.RandNormal(rand.New(rand.NewSource(seed)), 0, 1)
+	return x
+}
+
+// TestInferMatchesForward checks the inference-only pass is bit-identical
+// to Forward on the CosmoFlow topology.
+func TestInferMatchesForward(t *testing.T) {
+	net := testNet(t)
+	x := randInput(net, 2)
+	want := net.Forward(x.Clone()).Data()
+	got := net.Infer(x).Data()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Infer[%d] = %v, Forward = %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestCloneSharesParams checks replicas alias the original parameter
+// tensors instead of copying 28 MB of weights per worker.
+func TestCloneSharesParams(t *testing.T) {
+	net := testNet(t)
+	rep, err := net.Clone(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, rp := net.Params(), rep.Params()
+	if len(op) != len(rp) {
+		t.Fatalf("clone has %d params, original %d", len(rp), len(op))
+	}
+	for i := range op {
+		if op[i] != rp[i] {
+			t.Errorf("param %d (%s) not shared", i, op[i].Name)
+		}
+	}
+	if rep.ParamCount() != net.ParamCount() {
+		t.Errorf("clone ParamCount %d != %d", rep.ParamCount(), net.ParamCount())
+	}
+}
+
+// TestCloneInferConcurrent runs many replicas in parallel (exercised under
+// -race) and checks each produces bit-identical output to the original's
+// sequential Forward on the same input.
+func TestCloneInferConcurrent(t *testing.T) {
+	net := testNet(t)
+	const workers = 8
+	const perWorker = 4
+
+	// Sequential reference on the original network.
+	want := make([][][]float32, workers)
+	for w := 0; w < workers; w++ {
+		want[w] = make([][]float32, perWorker)
+		for i := 0; i < perWorker; i++ {
+			x := randInput(net, int64(100*w+i))
+			want[w][i] = append([]float32(nil), net.Forward(x).Data()...)
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		rep, err := net.Clone(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(w int, rep *Network) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				x := randInput(rep, int64(100*w+i))
+				got := rep.Infer(x).Data()
+				for j := range got {
+					if got[j] != want[w][i][j] {
+						errs <- "replica output diverged from sequential Forward"
+						return
+					}
+				}
+			}
+		}(w, rep)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestCloneLeavesOriginalTrainable checks that running replicas does not
+// disturb the original's forward/backward state.
+func TestCloneLeavesOriginalTrainable(t *testing.T) {
+	net := testNet(t)
+	x := randInput(net, 3)
+	y := net.Forward(x)
+
+	rep, err := net.Clone(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep.Infer(randInput(net, 4))
+
+	// Backward on the original must still see its cached activations.
+	dy := tensor.New(y.Shape()...)
+	dy.Fill(1)
+	net.Backward(dy) // panics if replica execution clobbered the caches
+}
+
+// TestCloneModeLayers checks replication of the ablation layers (BatchNorm,
+// Dropout) matches the original's inference behaviour.
+func TestCloneModeLayers(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	net := &Network{InputDim: 4, InputChannels: 2}
+	net.Layers = []Layer{
+		NewConv3D("c1", 2, 4, 3, 1, 1, nil, rng),
+		NewBatchNorm3D("bn1", 4),
+		NewDropout("drop1", 0.5, 7),
+		NewLeakyReLU("act1", 0),
+		NewFlatten("flat"),
+		NewDense("fc", 4*4*4*4, 3, nil, rng),
+	}
+	// One training forward so the running statistics are non-trivial.
+	net.Forward(randInput(net, 6))
+	net.SetTraining(false)
+
+	x := randInput(net, 7)
+	want := net.Forward(x.Clone()).Data()
+
+	rep, err := net.Clone(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Infer(x).Data()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("mode-layer clone Infer[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

@@ -91,10 +91,16 @@ func (d *Dense) BwdFLOPs(tensor.Shape) int64 {
 
 // Forward implements Layer.
 func (d *Dense) Forward(x *tensor.Tensor) *tensor.Tensor {
+	d.x = x
+	return d.apply(x)
+}
+
+// apply computes y = Wx + b without caching the input, shared by the
+// training Forward and the inference-only Infer paths.
+func (d *Dense) apply(x *tensor.Tensor) *tensor.Tensor {
 	if x.NumElements() != d.In {
 		panic(fmt.Sprintf("nn: %s expects %d inputs, got %d", d.Name(), d.In, x.NumElements()))
 	}
-	d.x = x
 	y := tensor.New(d.Out)
 	xd, yd := x.Data(), y.Data()
 	wd, bd := d.W.Value.Data(), d.B.Value.Data()

@@ -60,8 +60,14 @@ func (p *AvgPool3D) BwdFLOPs(in tensor.Shape) int64 { return p.FwdFLOPs(in) }
 
 // Forward implements Layer.
 func (p *AvgPool3D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	p.inShape = x.Shape().Clone()
+	return p.apply(x)
+}
+
+// apply computes the pooled output without caching the input shape, shared
+// by the training Forward and the inference-only Infer paths.
+func (p *AvgPool3D) apply(x *tensor.Tensor) *tensor.Tensor {
 	in := x.Shape()
-	p.inShape = in.Clone()
 	out := p.OutputShape(in)
 	ch, id, ih, iw := in[0], in[1], in[2], in[3]
 	od, oh, ow := out[1], out[2], out[3]

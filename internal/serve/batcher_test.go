@@ -1,0 +1,159 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// collectBatches wires a batcher to a recorder that answers every request
+// and logs the batch sizes it saw.
+type batchRecorder struct {
+	mu    sync.Mutex
+	sizes []int
+	delay time.Duration
+}
+
+func (rec *batchRecorder) dispatch(batch []*request) {
+	if rec.delay > 0 {
+		time.Sleep(rec.delay)
+	}
+	rec.mu.Lock()
+	rec.sizes = append(rec.sizes, len(batch))
+	rec.mu.Unlock()
+	for _, r := range batch {
+		r.done <- result{batchSize: len(batch)}
+	}
+}
+
+func (rec *batchRecorder) batchSizes() []int {
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	return append([]int(nil), rec.sizes...)
+}
+
+func newTestRequest() *request {
+	return &request{enqueued: time.Now(), done: make(chan result, 1)}
+}
+
+// TestBatcherFillsToMaxBatch checks that a burst larger than MaxBatch is
+// dispatched as full batches rather than waiting out the deadline.
+func TestBatcherFillsToMaxBatch(t *testing.T) {
+	rec := &batchRecorder{}
+	// A generous deadline: only the max-batch trigger can flush quickly.
+	b := newBatcher(4, time.Minute, &Metrics{}, rec.dispatch)
+	defer b.close()
+
+	const n = 16
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		r := newTestRequest()
+		if err := b.submit(r); err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-r.done
+		}()
+	}
+	wg.Wait()
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("burst took %v; max-batch trigger did not fire", elapsed)
+	}
+	sizes := rec.batchSizes()
+	var total int
+	for _, s := range sizes {
+		total += s
+		if s > 4 {
+			t.Errorf("batch size %d exceeds MaxBatch 4", s)
+		}
+	}
+	if total != n {
+		t.Fatalf("dispatched %d requests, want %d", total, n)
+	}
+	// The first batch may be a singleton (the loop picks up the first
+	// request before the rest arrive), but the burst must coalesce: far
+	// fewer batches than requests.
+	if len(sizes) > n/2 {
+		t.Errorf("%d batches for %d requests; no coalescing happened: %v", len(sizes), n, sizes)
+	}
+}
+
+// TestBatcherDeadlineFlushesPartialBatch checks a partial batch dispatches
+// once the oldest request has waited MaxDelay.
+func TestBatcherDeadlineFlushesPartialBatch(t *testing.T) {
+	rec := &batchRecorder{}
+	delay := 20 * time.Millisecond
+	b := newBatcher(64, delay, &Metrics{}, rec.dispatch)
+	defer b.close()
+
+	start := time.Now()
+	reqs := make([]*request, 3)
+	for i := range reqs {
+		reqs[i] = newTestRequest()
+		if err := b.submit(reqs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, r := range reqs {
+		res := <-r.done
+		if res.batchSize != 3 {
+			t.Errorf("batch size %d, want 3 (all requests coalesced)", res.batchSize)
+		}
+	}
+	elapsed := time.Since(start)
+	if elapsed < delay/2 {
+		t.Errorf("partial batch flushed after %v, before the %v deadline", elapsed, delay)
+	}
+	if elapsed > 50*delay {
+		t.Errorf("partial batch took %v, deadline %v never fired", elapsed, delay)
+	}
+}
+
+// TestBatcherCloseDrainsQueue checks close() answers every queued request
+// before returning and that later submits are refused.
+func TestBatcherCloseDrainsQueue(t *testing.T) {
+	rec := &batchRecorder{delay: time.Millisecond}
+	b := newBatcher(4, time.Minute, &Metrics{}, rec.dispatch)
+
+	const n = 9
+	reqs := make([]*request, n)
+	for i := range reqs {
+		reqs[i] = newTestRequest()
+		if err := b.submit(reqs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b.close()
+	for i, r := range reqs {
+		select {
+		case <-r.done:
+		default:
+			t.Fatalf("request %d unanswered after close", i)
+		}
+	}
+	if err := b.submit(newTestRequest()); err != ErrClosed {
+		t.Fatalf("submit after close = %v, want ErrClosed", err)
+	}
+	// close is idempotent.
+	b.close()
+}
+
+// TestBatcherSingletonMaxBatch checks MaxBatch 1 degenerates to immediate
+// per-request dispatch.
+func TestBatcherSingletonMaxBatch(t *testing.T) {
+	rec := &batchRecorder{}
+	b := newBatcher(1, time.Minute, &Metrics{}, rec.dispatch)
+	defer b.close()
+	for i := 0; i < 3; i++ {
+		r := newTestRequest()
+		if err := b.submit(r); err != nil {
+			t.Fatal(err)
+		}
+		if res := <-r.done; res.batchSize != 1 {
+			t.Fatalf("batch size %d, want 1", res.batchSize)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package serve
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets are the upper bounds (milliseconds) of the request-latency
+// histogram, exponential from 100 µs to 10 s. The final implicit bucket is
+// +Inf.
+var latencyBuckets = [...]float64{
+	0.1, 0.2, 0.5, 1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000,
+}
+
+// Metrics tracks one model's serving counters. All fields are updated with
+// atomics so the hot path never takes a lock; Snapshot gives a consistent-
+// enough view for the /stats endpoint (counters may be torn by at most one
+// in-flight request, which monitoring tolerates).
+type Metrics struct {
+	requests   atomic.Int64 // completed predictions
+	errors     atomic.Int64 // rejected or failed requests
+	batches    atomic.Int64 // dispatched micro-batches
+	batchItems atomic.Int64 // total items across dispatched batches
+	queueDepth atomic.Int64 // requests waiting in the batcher
+	inflight   atomic.Int64 // requests admitted but not yet answered
+	latencyNS  atomic.Int64 // total end-to-end latency
+	hist       [len(latencyBuckets) + 1]atomic.Int64
+}
+
+// observe records one completed request's end-to-end latency.
+func (m *Metrics) observe(d time.Duration) {
+	m.requests.Add(1)
+	m.latencyNS.Add(int64(d))
+	ms := float64(d) / float64(time.Millisecond)
+	for i, ub := range latencyBuckets {
+		if ms <= ub {
+			m.hist[i].Add(1)
+			return
+		}
+	}
+	m.hist[len(latencyBuckets)].Add(1)
+}
+
+// observeBatch records one dispatched micro-batch of n requests.
+func (m *Metrics) observeBatch(n int) {
+	m.batches.Add(1)
+	m.batchItems.Add(int64(n))
+}
+
+// Stats is a point-in-time snapshot of a model's metrics, shaped for JSON.
+type Stats struct {
+	Requests   int64   `json:"requests"`
+	Errors     int64   `json:"errors"`
+	Batches    int64   `json:"batches"`
+	AvgBatch   float64 `json:"avg_batch"`
+	QueueDepth int64   `json:"queue_depth"`
+	Inflight   int64   `json:"inflight"`
+	MeanMs     float64 `json:"mean_ms"`
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+}
+
+// Snapshot returns the current counters with derived latency quantiles.
+func (m *Metrics) Snapshot() Stats {
+	s := Stats{
+		Requests:   m.requests.Load(),
+		Errors:     m.errors.Load(),
+		Batches:    m.batches.Load(),
+		QueueDepth: m.queueDepth.Load(),
+		Inflight:   m.inflight.Load(),
+	}
+	if s.Batches > 0 {
+		s.AvgBatch = float64(m.batchItems.Load()) / float64(s.Batches)
+	}
+	if s.Requests > 0 {
+		s.MeanMs = float64(m.latencyNS.Load()) / float64(s.Requests) / 1e6
+	}
+	var counts [len(latencyBuckets) + 1]int64
+	var total int64
+	for i := range counts {
+		counts[i] = m.hist[i].Load()
+		total += counts[i]
+	}
+	s.P50Ms = histQuantile(counts[:], total, 0.50)
+	s.P99Ms = histQuantile(counts[:], total, 0.99)
+	return s
+}
+
+// histQuantile estimates quantile q by linear interpolation inside the
+// bucket that crosses the target rank, the standard Prometheus-style
+// estimator. Overflow-bucket hits report the largest finite bound.
+func histQuantile(counts []int64, total int64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i >= len(latencyBuckets) {
+				return latencyBuckets[len(latencyBuckets)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = latencyBuckets[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			return lo + frac*(latencyBuckets[i]-lo)
+		}
+		cum += c
+	}
+	return latencyBuckets[len(latencyBuckets)-1]
+}

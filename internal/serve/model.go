@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cosmo"
+	"repro/internal/tensor"
+)
+
+// Model is one servable checkpoint: a replica pool fed by a micro-batcher,
+// with per-model metrics. Predict is safe for any number of concurrent
+// callers; the batcher coalesces them and the pool bounds concurrent
+// forward passes.
+type Model struct {
+	name       string
+	inputShape tensor.Shape
+	priors     cosmo.Priors
+	pool       *replicaPool
+	batch      *batcher
+	metrics    *Metrics
+}
+
+// Prediction is the answer to one serving request.
+type Prediction struct {
+	// Params are the denormalized physical parameters (through the priors,
+	// like train.Evaluate).
+	Params cosmo.Params
+	// Normalized is the raw [0,1]³ network output.
+	Normalized [3]float32
+	// BatchSize is the micro-batch size this request was served in.
+	BatchSize int
+	// Latency is the end-to-end queue + compute time.
+	Latency time.Duration
+}
+
+func newModel(cfg ModelConfig) (*Model, error) {
+	if cfg.Name == "" {
+		cfg.Name = DefaultModel
+	}
+	if cfg.Replicas < 1 {
+		cfg.Replicas = 1
+	}
+	if cfg.MaxBatch < 1 {
+		cfg.MaxBatch = 8
+	}
+	if cfg.MaxDelay <= 0 {
+		cfg.MaxDelay = 2 * time.Millisecond
+	}
+	if cfg.Priors == (cosmo.Priors{}) {
+		cfg.Priors = cosmo.DefaultPriors()
+	}
+	net, err := buildNetwork(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := newReplicaPool(net, cfg.Replicas, cfg.WorkersPerReplica)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{
+		name:       cfg.Name,
+		inputShape: net.InputShape(),
+		priors:     cfg.Priors,
+		pool:       pool,
+		metrics:    &Metrics{},
+	}
+	m.batch = newBatcher(cfg.MaxBatch, cfg.MaxDelay, m.metrics, m.runBatch)
+	return m, nil
+}
+
+// runBatch serves one micro-batch on a single replica. The network
+// processes one sample per forward pass (the paper's per-rank batch size),
+// so a batch is a tight loop over the replica's predictor; batches from
+// other dispatch goroutines run on other replicas concurrently. A panic
+// in the forward pass fails the remaining requests of this batch instead
+// of crashing the daemon; the replica holds no cross-request state, so it
+// returns to the pool usable. Caveat: with WorkersPerReplica > 1 a panic
+// raised inside a parallel.Pool worker goroutine cannot be recovered here
+// and still crashes the process — the recovery contract fully holds only
+// for the default single-worker replicas.
+func (m *Model) runBatch(batch []*request) {
+	rep := m.pool.acquire()
+	defer m.pool.release(rep)
+	served := 0
+	defer func() {
+		if p := recover(); p != nil {
+			err := fmt.Errorf("serve: model %s: prediction panic: %v", m.name, p)
+			for _, r := range batch[served:] {
+				r.done <- result{err: err}
+			}
+		}
+	}()
+	for _, r := range batch {
+		pred := rep.pred.PredictVoxels(r.voxels, r.channels, r.dim)
+		served++
+		r.done <- result{pred: pred, batchSize: len(batch)}
+	}
+}
+
+// Predict queues one voxel volume and blocks until its micro-batch is
+// served. voxels must hold exactly InputShape().NumElements() values in
+// [C D H W] order.
+func (m *Model) Predict(voxels []float32) (*Prediction, error) {
+	if len(voxels) != m.inputShape.NumElements() {
+		m.metrics.errors.Add(1)
+		return nil, fmt.Errorf("%w: model %s expects %d voxels (shape %v), got %d",
+			ErrBadRequest, m.name, m.inputShape.NumElements(), m.inputShape, len(voxels))
+	}
+	m.metrics.inflight.Add(1)
+	r := &request{
+		voxels:   voxels,
+		channels: m.inputShape[0],
+		dim:      m.inputShape[1],
+		enqueued: time.Now(),
+		done:     make(chan result, 1),
+	}
+	if err := m.batch.submit(r); err != nil {
+		m.metrics.inflight.Add(-1)
+		m.metrics.errors.Add(1)
+		return nil, err
+	}
+	res := <-r.done
+	// Leave inflight before entering the completion counters, so
+	// Requests+Inflight never double-counts a request (readers use the
+	// sum as an admission lower bound).
+	m.metrics.inflight.Add(-1)
+	if res.err != nil {
+		m.metrics.errors.Add(1)
+		return nil, res.err
+	}
+	lat := time.Since(r.enqueued)
+	m.metrics.observe(lat)
+	return &Prediction{
+		Params:     m.priors.Denormalize(res.pred),
+		Normalized: res.pred,
+		BatchSize:  res.batchSize,
+		Latency:    lat,
+	}, nil
+}
+
+// Name returns the registry key.
+func (m *Model) Name() string { return m.name }
+
+// InputShape returns the expected voxel shape [C D D D].
+func (m *Model) InputShape() tensor.Shape { return m.inputShape }
+
+// Priors returns the denormalization priors.
+func (m *Model) Priors() cosmo.Priors { return m.priors }
+
+// Replicas returns the concurrent-inference bound.
+func (m *Model) Replicas() int { return m.pool.size() }
+
+// Stats snapshots the model's metrics.
+func (m *Model) Stats() Stats { return m.metrics.Snapshot() }
+
+// Close drains the batcher (queued and in-flight requests all complete)
+// and then releases the replicas. Subsequent Predicts return ErrClosed.
+func (m *Model) Close() {
+	m.batch.close()
+	m.pool.close()
+}

@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/cosmo"
+	"repro/internal/nn"
+)
+
+// ModelConfig describes one named model to serve.
+type ModelConfig struct {
+	// Name is the registry key; "" means DefaultModel.
+	Name string
+	// Topology builds the network the checkpoint was trained with. The
+	// config's Pool field is ignored: replicas get their own pools.
+	Topology nn.TopologyConfig
+	// CheckpointPath, when non-empty, is loaded via nn.LoadCheckpoint.
+	// Empty serves freshly initialized weights (benchmarks, smoke tests).
+	CheckpointPath string
+	// Priors denormalize network outputs into physical parameters; the
+	// zero value selects cosmo.DefaultPriors.
+	Priors cosmo.Priors
+	// Replicas is the concurrent-inference bound (default 1).
+	Replicas int
+	// WorkersPerReplica sizes each replica's compute pool (default 1).
+	WorkersPerReplica int
+	// MaxBatch and MaxDelay tune the micro-batcher (defaults 8, 2ms).
+	MaxBatch int
+	MaxDelay time.Duration
+}
+
+// DefaultModel is the model name used when a request does not specify one.
+const DefaultModel = "default"
+
+// Registry holds the named models a server exposes and supports hot-swap:
+// Load with an existing name atomically replaces the entry, in-flight
+// requests finish on the model instance they resolved, and the old
+// instance drains and releases its replicas in the background. Weights are
+// never mutated in place — a swap is always a fresh network + replica
+// set — which is what keeps the weight-sharing clones sound.
+type Registry struct {
+	mu       sync.RWMutex
+	models   map[string]*Model
+	closed   bool
+	draining sync.WaitGroup // displaced models still shutting down
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{models: make(map[string]*Model)}
+}
+
+// Load builds the model (network, checkpoint, replicas, batcher) and
+// installs it, replacing and draining any previous model of the same name.
+func (r *Registry) Load(cfg ModelConfig) (*Model, error) {
+	m, err := newModel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	if r.closed {
+		// Racing a shutdown: installing now would leak an undrained
+		// model, so tear the new instance down instead.
+		r.mu.Unlock()
+		m.Close()
+		return nil, ErrClosed
+	}
+	old := r.models[m.name]
+	r.models[m.name] = m
+	if old != nil {
+		// Count the displaced instance into the drain group while still
+		// holding the lock: Close sets closed under the same lock, so its
+		// Wait can never start while this Add is pending (the WaitGroup
+		// contract). The drain itself runs off the caller's path; requests
+		// that still hold the old instance complete, later submits get
+		// ErrClosed and re-resolve to the new instance.
+		r.draining.Add(1)
+	}
+	r.mu.Unlock()
+	if old != nil {
+		go func() {
+			defer r.draining.Done()
+			old.Close()
+		}()
+	}
+	return m, nil
+}
+
+// Get resolves a model by name ("" selects DefaultModel).
+func (r *Registry) Get(name string) (*Model, bool) {
+	if name == "" {
+		name = DefaultModel
+	}
+	r.mu.RLock()
+	m, ok := r.models[name]
+	r.mu.RUnlock()
+	return m, ok
+}
+
+// Names lists the registered model names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	names := make([]string, 0, len(r.models))
+	for n := range r.models {
+		names = append(names, n)
+	}
+	r.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Close drains and tears down every model, including instances displaced
+// by earlier hot-swaps that are still draining in the background. The
+// registry is unusable afterwards: subsequent Loads return ErrClosed.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	r.closed = true
+	models := r.models
+	r.models = make(map[string]*Model)
+	r.mu.Unlock()
+	for _, m := range models {
+		m.Close()
+	}
+	r.draining.Wait()
+}
+
+// buildNetwork constructs and initializes the model's base network.
+func buildNetwork(cfg ModelConfig) (*nn.Network, error) {
+	topo := cfg.Topology
+	topo.Pool = nil
+	net, err := nn.BuildCosmoFlow(topo)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.CheckpointPath != "" {
+		if err := net.LoadCheckpointFile(cfg.CheckpointPath); err != nil {
+			return nil, fmt.Errorf("serve: loading %s: %w", cfg.CheckpointPath, err)
+		}
+	}
+	net.SetTraining(false)
+	return net, nil
+}

@@ -1,0 +1,205 @@
+// Package serve is the concurrent batched inference subsystem: a model
+// registry with hot-swap, per-model replica pools of weight-sharing
+// network clones, a dynamic micro-batcher, and a stdlib-only HTTP JSON
+// API — the path from the paper's trained network to the ROADMAP's
+// "serve heavy traffic" north star.
+//
+// Request flow: /predict decodes a voxel volume, the model's batcher
+// coalesces it with its neighbours (up to MaxBatch requests or MaxDelay,
+// whichever first), a dispatch goroutine runs the batch on a free replica,
+// and the handler denormalizes the network output through the priors. The
+// replica pool bounds concurrent forward passes; everything else queues.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/cosmo"
+)
+
+// maxBodyBytes bounds /predict request bodies: a paper-size 128³ float
+// volume is ~2M voxels, which JSON-encodes to tens of MB.
+const maxBodyBytes = 256 << 20
+
+// Server exposes a Registry over HTTP: POST /predict, GET /healthz,
+// GET /stats.
+type Server struct {
+	reg   *Registry
+	http  *http.Server
+	start time.Time
+}
+
+// NewServer wraps reg in an HTTP server bound to addr.
+func NewServer(reg *Registry, addr string) *Server {
+	s := &Server{reg: reg, start: time.Now()}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	s.http = &http.Server{
+		Addr:    addr,
+		Handler: mux,
+		// Bound header arrival and idle keep-alives so stalled clients
+		// (slowloris) cannot pin handler goroutines forever. No ReadTimeout:
+		// large /predict bodies on slow links are legitimate.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	return s
+}
+
+// Handler returns the route mux (for httptest and in-process use).
+func (s *Server) Handler() http.Handler { return s.http.Handler }
+
+// ListenAndServe blocks serving requests; it returns http.ErrServerClosed
+// after Shutdown.
+func (s *Server) ListenAndServe() error { return s.http.ListenAndServe() }
+
+// Serve blocks serving requests on an existing listener.
+func (s *Server) Serve(l net.Listener) error { return s.http.Serve(l) }
+
+// Shutdown gracefully stops the server: the listener closes, in-flight
+// requests drain through their micro-batches, and then the models are torn
+// down. The whole drain is bounded by ctx — on expiry Shutdown returns
+// ctx.Err() with the teardown still running in the background, so a daemon
+// honoring a drain budget can exit instead of hanging on a wedged replica.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.http.Shutdown(ctx)
+	done := make(chan struct{})
+	go func() {
+		s.reg.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	return err
+}
+
+// PredictRequest is the /predict JSON body.
+type PredictRequest struct {
+	// Model selects a registry entry; empty means DefaultModel.
+	Model string `json:"model,omitempty"`
+	// Voxels is the preprocessed sub-volume in [C D H W] row-major order;
+	// its length must match the model's input shape.
+	Voxels []float32 `json:"voxels"`
+}
+
+// PredictedParams is the denormalized parameter triple in the /predict
+// response.
+type PredictedParams struct {
+	OmegaM float64 `json:"omega_m"`
+	Sigma8 float64 `json:"sigma8"`
+	NS     float64 `json:"ns"`
+}
+
+// PredictResponse is the /predict JSON answer.
+type PredictResponse struct {
+	Model      string          `json:"model"`
+	Params     PredictedParams `json:"params"`
+	Normalized [3]float32      `json:"normalized"`
+	BatchSize  int             `json:"batch_size"`
+	LatencyMs  float64         `json:"latency_ms"`
+}
+
+// HealthResponse is the /healthz JSON answer.
+type HealthResponse struct {
+	Status  string   `json:"status"`
+	Models  []string `json:"models"`
+	UptimeS float64  `json:"uptime_s"`
+}
+
+// ModelStats is one model's entry in the /stats answer.
+type ModelStats struct {
+	Stats
+	Replicas int `json:"replicas"`
+}
+
+// StatsResponse is the /stats JSON answer.
+type StatsResponse struct {
+	UptimeS float64               `json:"uptime_s"`
+	Models  map[string]ModelStats `json:"models"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req PredictRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		return
+	}
+	m, ok := s.reg.Get(req.Model)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown model "+req.Model)
+		return
+	}
+	pred, err := m.Predict(req.Voxels)
+	if err != nil {
+		switch {
+		case errors.Is(err, ErrClosed):
+			// The model was hot-swapped or the server is draining; the
+			// client should retry (and will resolve the new instance).
+			writeError(w, http.StatusServiceUnavailable, err.Error())
+		case errors.Is(err, ErrBadRequest):
+			writeError(w, http.StatusBadRequest, err.Error())
+		default:
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, PredictResponse{
+		Model:      m.Name(),
+		Params:     toPredicted(pred.Params),
+		Normalized: pred.Normalized,
+		BatchSize:  pred.BatchSize,
+		LatencyMs:  float64(pred.Latency) / 1e6,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:  "ok",
+		Models:  s.reg.Names(),
+		UptimeS: time.Since(s.start).Seconds(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := StatsResponse{
+		UptimeS: time.Since(s.start).Seconds(),
+		Models:  make(map[string]ModelStats),
+	}
+	for _, name := range s.reg.Names() {
+		if m, ok := s.reg.Get(name); ok {
+			resp.Models[name] = ModelStats{Stats: m.Stats(), Replicas: m.Replicas()}
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func toPredicted(p cosmo.Params) PredictedParams {
+	return PredictedParams{OmegaM: p.OmegaM, Sigma8: p.Sigma8, NS: p.NS}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -91,6 +91,33 @@ func FromData(data []float32, shape ...int) *Tensor {
 	return &Tensor{shape: s.Clone(), data: data}
 }
 
+// Wrap re-points t at an existing slice with the given shape, the in-place
+// analogue of FromData: a tensor reused across calls (e.g. a serving hot
+// path) avoids allocating a fresh header and shape per sample. The slice is
+// not copied and must not be resized; its length must match the shape.
+func (t *Tensor) Wrap(data []float32, shape ...int) {
+	s := Shape(shape)
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	if len(data) != s.NumElements() {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (%d elements)",
+			len(data), s, s.NumElements()))
+	}
+	if !t.shape.Equal(s) {
+		t.shape = s.Clone()
+	}
+	t.data = data
+}
+
+// Release drops the tensor's reference to its backing data, so code that
+// wraps caller-owned buffers (Wrap) does not pin the last caller's buffer
+// between uses. The shape is kept so the next same-shape Wrap reuses it;
+// the tensor must be re-Wrapped (or otherwise re-backed) before use.
+func (t *Tensor) Release() {
+	t.data = nil
+}
+
 // Shape returns the tensor's shape. The returned slice must not be mutated.
 func (t *Tensor) Shape() Shape { return t.shape }
 

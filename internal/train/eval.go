@@ -17,10 +17,45 @@ func newShardRNG(seed int64, epoch int) *rand.Rand {
 }
 
 // Predict runs the network on one sample and returns the normalized
-// three-parameter prediction.
+// three-parameter prediction. It delegates to a one-shot Predictor so both
+// APIs run the identical inference-only forward pass; for repeated calls
+// on a hot path, hold a Predictor, which reuses its buffers across calls.
 func Predict(net *nn.Network, s *cosmo.Sample) [3]float32 {
-	x := tensor.FromData(s.Voxels, s.NumChannels(), s.Dim, s.Dim, s.Dim)
-	y := net.Forward(x)
+	p := Predictor{net: net}
+	return p.Predict(s)
+}
+
+// Predictor runs repeated single-sample inference on one network, reusing
+// its input tensor across calls so the serving hot path neither copies the
+// voxel volume nor allocates a fresh tensor header per sample. It uses the
+// network's inference-only forward, which leaves no activation caches
+// behind. A Predictor owns its network's in-flight state and therefore
+// serves one goroutine; concurrent serving pairs one Predictor with each
+// nn replica.
+type Predictor struct {
+	net *nn.Network
+	x   tensor.Tensor
+}
+
+// NewPredictor builds a reusable predictor around net.
+func NewPredictor(net *nn.Network) *Predictor { return &Predictor{net: net} }
+
+// Predict returns the normalized three-parameter prediction for s.
+func (p *Predictor) Predict(s *cosmo.Sample) [3]float32 {
+	return p.PredictVoxels(s.Voxels, s.NumChannels(), s.Dim)
+}
+
+// PredictVoxels predicts directly from a raw voxel buffer of the given
+// channel count and edge length, the form serving requests arrive in. The
+// buffer is wrapped, not copied (no layer mutates its input), and must
+// hold exactly channels·dim³ values — a mismatch panics, as with
+// tensor.FromData.
+func (p *Predictor) PredictVoxels(voxels []float32, channels, dim int) [3]float32 {
+	p.x.Wrap(voxels, channels, dim, dim, dim)
+	y := p.net.Infer(&p.x)
+	// Drop the wrapped reference so an idle predictor (e.g. a quiet
+	// serving replica) does not pin the request's voxel buffer.
+	p.x.Release()
 	var out [3]float32
 	copy(out[:], y.Data())
 	return out
@@ -35,8 +70,9 @@ type Estimate struct {
 // producing the scatter data behind Figure 6.
 func Evaluate(net *nn.Network, testSet []*cosmo.Sample, priors cosmo.Priors) []Estimate {
 	out := make([]Estimate, 0, len(testSet))
+	p := NewPredictor(net)
 	for _, s := range testSet {
-		pred := Predict(net, s)
+		pred := p.Predict(s)
 		out = append(out, Estimate{
 			True: priors.Denormalize(s.Target),
 			Pred: priors.Denormalize(pred),

@@ -74,7 +74,7 @@ type EpochStats struct {
 	TrainLoss  float64 // global average training loss
 	ValLoss    float64 // global average validation loss (NaN if no val set)
 	Duration   time.Duration
-	Steps      int // steps per rank
+	Steps      int     // steps per rank
 	SamplesSec float64 // global samples/second
 }
 
