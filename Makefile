@@ -1,11 +1,15 @@
-# Tier-1 verification plus formatting/vet gates. `make check` is the
-# everything-must-pass target CI and pre-commit hooks should run.
+# Tier-1 verification plus formatting/vet gates. `make check` is the fast
+# everything-must-pass target for pre-commit hooks; `make ci` mirrors
+# .github/workflows/ci.yml exactly (every CI job runs one of these
+# targets), so local and CI runs cannot drift.
 
 GO ?= go
 
-.PHONY: check fmt vet build test bench serve-smoke
+.PHONY: check ci fmt vet build test race bench bench-smoke serve-smoke
 
 check: fmt vet build test
+
+ci: fmt vet build test race bench-smoke serve-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -20,9 +24,20 @@ build:
 test:
 	$(GO) test ./...
 
+# Race-detect the concurrency-bearing packages: the serving subsystem
+# (replica pools, micro-batcher) and the batched kernels (shared worker
+# pools, recycled buffers).
+race:
+	$(GO) test -race ./internal/serve ./internal/nn
+
 # Full benchmark sweep (minutes); see EXPERIMENTS.md for the record.
 bench:
 	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# One-pass serving + batched-inference benchmarks: a smoke signal that the
+# hot path still runs, cheap enough for every CI run.
+bench-smoke:
+	$(GO) test -run xxx -bench 'Serving|InferBatch' -benchtime 1x .
 
 # End-to-end serving smoke: daemon + >=64-request concurrent load, then a
 # graceful SIGTERM drain (the ISSUE acceptance run).

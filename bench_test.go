@@ -455,6 +455,83 @@ func BenchmarkServing_ReplicaPool(b *testing.B) {
 	}
 }
 
+// BenchmarkInferBatch_Scaling measures the batched inference hot path: a
+// micro-batch of B volumes runs as one nn.InferBatch forward (one
+// (batch × task) parallel-for per layer, activations recycled through the
+// network's buffer pool). Samples/sec should rise with B: B=1 is the
+// sequential per-sample path, larger batches amortize per-layer overhead
+// and allocation, and on multi-core hosts also widen every parallel-for's
+// index space.
+func BenchmarkInferBatch_Scaling(b *testing.B) {
+	pool := parallel.NewPool(0)
+	defer pool.Close()
+	net, err := nn.BuildCosmoFlow(nn.TopologyConfig{
+		InputDim: 16, BaseChannels: 16, Seed: 1, Pool: pool,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for _, batch := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("B%d", batch), func(b *testing.B) {
+			xs := make([]*tensor.Tensor, batch)
+			for i := range xs {
+				xs[i] = tensor.New(net.InputShape()...)
+				xs[i].RandNormal(rng, 0, 1)
+			}
+			net.InferBatch(xs) // warm packed weights and the buffer pool
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.InferBatch(xs)
+			}
+			b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+		})
+	}
+}
+
+// BenchmarkInferBatch_VsSequentialLoop pits one InferBatch forward of B=4
+// volumes against the pre-batching serving path (a tight loop of 4
+// single-sample Predictor calls), the ablation behind the batched runBatch.
+func BenchmarkInferBatch_VsSequentialLoop(b *testing.B) {
+	const batch = 4
+	const dim = 16
+	pool := parallel.NewPool(0)
+	defer pool.Close()
+	net, err := nn.BuildCosmoFlow(nn.TopologyConfig{
+		InputDim: dim, BaseChannels: 16, Seed: 1, Pool: pool,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	samples := benchSamples(batch, dim, 121)
+	voxels := make([][]float32, batch)
+	for i, s := range samples {
+		voxels[i] = s.Voxels
+	}
+	b.Run("sequential-loop", func(b *testing.B) {
+		p := train.NewPredictor(net)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, s := range samples {
+				p.Predict(s)
+			}
+		}
+		b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+	})
+	b.Run("infer-batch", func(b *testing.B) {
+		p := train.NewBatchPredictor(net)
+		p.PredictVoxels(voxels, samples[0].NumChannels(), dim) // warm buffers
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.PredictVoxels(voxels, samples[0].NumChannels(), dim)
+		}
+		b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+	})
+}
+
 // BenchmarkServing_PredictorAlloc measures the per-request allocation of
 // the serving hot path's reusable predictor against the one-shot
 // train.Predict.

@@ -14,11 +14,16 @@
 // (internal/hpcsim), the traditional power-spectrum statistics baseline
 // (internal/stats), and a concurrent batched inference serving subsystem —
 // model registry with hot-swap, replica pools of weight-sharing network
-// clones, dynamic micro-batching, stdlib-only HTTP JSON API
-// (internal/serve) — behind the cosmoflow-serve daemon and the
+// clones, dynamic micro-batching into true batched forward passes
+// (nn.InferBatch: batch-innermost conv kernels, recycled activation
+// buffers, bit-identical to per-sample inference), stdlib-only HTTP JSON
+// API (internal/serve) — behind the cosmoflow-serve daemon and the
 // cosmoflow-loadgen load generator.
 //
-// See DESIGN.md for the system inventory, EXPERIMENTS.md for the
-// paper-versus-measured record of every table and figure, and bench_test.go
-// for the benchmark harness that regenerates them.
+// See DESIGN.md for the system inventory and the CI pipeline
+// (.github/workflows/ci.yml, mirrored by `make ci`: fmt, vet, build, test,
+// race on the concurrency-bearing packages, and a serving bench smoke),
+// EXPERIMENTS.md for the paper-versus-measured record of every table and
+// figure, and bench_test.go for the benchmark harness that regenerates
+// them.
 package repro

@@ -49,7 +49,14 @@ func (l *LeakyReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
 // training Forward and the inference-only Infer paths.
 func (l *LeakyReLU) apply(x *tensor.Tensor) *tensor.Tensor {
 	y := tensor.New(x.Shape()...)
-	xd, yd := x.Data(), y.Data()
+	l.applyInto(x.Data(), y.Data())
+	return y
+}
+
+// applyInto writes f(xd) element-wise into yd (same length). The operation
+// is per-element, so the batched path can fan samples out to workers without
+// changing results.
+func (l *LeakyReLU) applyInto(xd, yd []float32) {
 	a := l.Alpha
 	for i, v := range xd {
 		if v > 0 {
@@ -58,7 +65,6 @@ func (l *LeakyReLU) apply(x *tensor.Tensor) *tensor.Tensor {
 			yd[i] = a * v
 		}
 	}
-	return y
 }
 
 // Backward implements Layer.

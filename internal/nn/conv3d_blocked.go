@@ -18,65 +18,169 @@ const widthBlock = 28
 // goroutine writing to a disjoint block, as in §III-C.
 func (c *Conv3D) forwardBlocked(x *tensor.Tensor) *tensor.Tensor {
 	in := x.Shape()
-	id, ih, iw := in[1], in[2], in[3]
 	out := c.OutputShape(in)
-	od, oh, ow := out[1], out[2], out[3]
-	k, p := c.K, c.Pad
-	bs := tensor.BlockSize
+	od := out[1]
 
 	src := tensor.ToBlocked(x)
+	c.ensurePacked()
+	dst := tensor.NewBlocked(c.OutC, od, out[2], out[3])
+
+	// Thread decomposition over (ocb × od): each task owns a disjoint
+	// slab of the output.
+	c.pool.ForEach(dst.CB*od, 1, func(task int) {
+		c.blockedSlab(src, dst, task)
+	})
+	return tensor.FromBlocked(dst)
+}
+
+// ensurePacked rebuilds the blocked weight pack if the weight version moved.
+func (c *Conv3D) ensurePacked() {
 	if c.packed == nil || c.packedSeen != c.wVersion {
 		c.packed = tensor.PackWeights(c.W.Value)
 		c.packedSeen = c.wVersion
 	}
-	wgt := c.packed
-	dst := tensor.NewBlocked(c.OutC, od, oh, ow)
-	bd := c.B.Value.Data()
+}
 
-	ocb := dst.CB
+// blockedSlab computes one (output-channel-block, depth) slab of the
+// Algorithm-1 kernel, task = ob·od + z. It is the unit of thread
+// decomposition for both the single-sample and batched forward paths; the
+// slab's accumulators are task-local and every element of the slab is
+// written, so scheduling (sample, slab) tasks in any order over any worker
+// count produces bit-identical results.
+func (c *Conv3D) blockedSlab(src, dst *tensor.Blocked, task int) {
+	id, ih, iw := src.D, src.H, src.W
+	od, oh, ow := dst.D, dst.H, dst.W
+	k, p := c.K, c.Pad
+	bs := tensor.BlockSize
+	wgt := c.packed
+	bd := c.B.Value.Data()
 	icb := src.CB
-	// Thread decomposition over (ocb × od): each task owns a disjoint
-	// slab of the output.
-	c.pool.ForEach(ocb*od, 1, func(task int) {
-		ob := task / od
-		z := task % od
-		acc := make([]float32, widthBlock*bs)
-		for yy := 0; yy < oh; yy++ {
-			for x0 := 0; x0 < ow; x0 += widthBlock {
-				wb := widthBlock
-				if x0+wb > ow {
-					wb = ow - x0
+
+	ob := task / od
+	z := task % od
+	acc := make([]float32, widthBlock*bs)
+	for yy := 0; yy < oh; yy++ {
+		for x0 := 0; x0 < ow; x0 += widthBlock {
+			wb := widthBlock
+			if x0+wb > ow {
+				wb = ow - x0
+			}
+			// Initialize accumulators with the bias.
+			for j := 0; j < wb; j++ {
+				for oc := 0; oc < bs; oc++ {
+					acc[j*bs+oc] = bd[ob*bs+oc]
 				}
-				// Initialize accumulators with the bias.
-				for j := 0; j < wb; j++ {
-					for oc := 0; oc < bs; oc++ {
-						acc[j*bs+oc] = bd[ob*bs+oc]
+			}
+			for ib := 0; ib < icb; ib++ {
+				for kd := 0; kd < k; kd++ {
+					zi := z + kd - p
+					if zi < 0 || zi >= id {
+						continue
 					}
-				}
-				for ib := 0; ib < icb; ib++ {
-					for kd := 0; kd < k; kd++ {
-						zi := z + kd - p
-						if zi < 0 || zi >= id {
+					for kh := 0; kh < k; kh++ {
+						yi := yy + kh - p
+						if yi < 0 || yi >= ih {
 							continue
 						}
-						for kh := 0; kh < k; kh++ {
-							yi := yy + kh - p
-							if yi < 0 || yi >= ih {
-								continue
+						srcRow := ((ib*id+zi)*ih + yi) * iw * bs
+						for kw := 0; kw < k; kw++ {
+							wOff := ((((ob*icb+ib)*k+kd)*k+kh)*k + kw) * bs * bs
+							wBlk := wgt.Data[wOff : wOff+bs*bs]
+							for j := 0; j < wb; j++ {
+								xi := x0 + j + kw - p
+								if xi < 0 || xi >= iw {
+									continue
+								}
+								sRow := src.Data[srcRow+xi*bs : srcRow+xi*bs+bs]
+								aRow := acc[j*bs : j*bs+bs]
+								// Inner 16×16 micro-kernel: the FMA
+								// block Algorithm 1 JITs to AVX512.
+								for ic := 0; ic < bs; ic++ {
+									sv := sRow[ic]
+									if sv == 0 {
+										continue
+									}
+									wRow := wBlk[ic*bs : ic*bs+bs]
+									for oc := 0; oc < bs; oc++ {
+										aRow[oc] += wRow[oc] * sv
+									}
+								}
 							}
-							srcRow := ((ib*id+zi)*ih + yi) * iw * bs
-							for kw := 0; kw < k; kw++ {
-								wOff := ((((ob*icb+ib)*k+kd)*k+kh)*k + kw) * bs * bs
-								wBlk := wgt.Data[wOff : wOff+bs*bs]
+						}
+					}
+				}
+			}
+			// Flush accumulators to the blocked destination.
+			dstRow := ((ob*od+z)*oh + yy) * ow * bs
+			for j := 0; j < wb; j++ {
+				copy(dst.Data[dstRow+(x0+j)*bs:dstRow+(x0+j)*bs+bs], acc[j*bs:j*bs+bs])
+			}
+		}
+	}
+}
+
+// blockedSlabBatch computes one (output-channel-block, depth) slab for a
+// whole micro-batch, with the batch looped inside the kernel-offset loops:
+// each 16×16 weight block is fetched once per (kd, kh, kw) and applied to
+// all B samples while it is cache-hot, amortizing the weight stream — the
+// batch dimension the paper's MKL-DNN kernels block over. For a fixed
+// sample the accumulator receives the same additions in the same
+// (ib, kd, kh, kw, j, ic, oc) order as blockedSlab, so batched outputs are
+// bit-identical to the per-sample kernel. acc is caller-provided scratch of
+// length >= B·widthBlock·BlockSize.
+func (c *Conv3D) blockedSlabBatch(srcs, dsts []*tensor.Blocked, task int, acc []float32) {
+	id, ih, iw := srcs[0].D, srcs[0].H, srcs[0].W
+	od, oh, ow := dsts[0].D, dsts[0].H, dsts[0].W
+	k, p := c.K, c.Pad
+	bs := tensor.BlockSize
+	wgt := c.packed
+	bd := c.B.Value.Data()
+	icb := srcs[0].CB
+	B := len(srcs)
+	stride := widthBlock * bs
+
+	ob := task / od
+	z := task % od
+	for yy := 0; yy < oh; yy++ {
+		for x0 := 0; x0 < ow; x0 += widthBlock {
+			wb := widthBlock
+			if x0+wb > ow {
+				wb = ow - x0
+			}
+			// Initialize every sample's accumulators with the bias.
+			for b := 0; b < B; b++ {
+				a := acc[b*stride : b*stride+wb*bs]
+				for j := 0; j < wb; j++ {
+					for oc := 0; oc < bs; oc++ {
+						a[j*bs+oc] = bd[ob*bs+oc]
+					}
+				}
+			}
+			for ib := 0; ib < icb; ib++ {
+				for kd := 0; kd < k; kd++ {
+					zi := z + kd - p
+					if zi < 0 || zi >= id {
+						continue
+					}
+					for kh := 0; kh < k; kh++ {
+						yi := yy + kh - p
+						if yi < 0 || yi >= ih {
+							continue
+						}
+						srcRow := ((ib*id+zi)*ih + yi) * iw * bs
+						for kw := 0; kw < k; kw++ {
+							wOff := ((((ob*icb+ib)*k+kd)*k+kh)*k + kw) * bs * bs
+							wBlk := wgt.Data[wOff : wOff+bs*bs]
+							for b := 0; b < B; b++ {
+								src := srcs[b].Data
+								a := acc[b*stride:]
 								for j := 0; j < wb; j++ {
 									xi := x0 + j + kw - p
 									if xi < 0 || xi >= iw {
 										continue
 									}
-									sRow := src.Data[srcRow+xi*bs : srcRow+xi*bs+bs]
-									aRow := acc[j*bs : j*bs+bs]
-									// Inner 16×16 micro-kernel: the FMA
-									// block Algorithm 1 JITs to AVX512.
+									sRow := src[srcRow+xi*bs : srcRow+xi*bs+bs]
+									aRow := a[j*bs : j*bs+bs]
 									for ic := 0; ic < bs; ic++ {
 										sv := sRow[ic]
 										if sv == 0 {
@@ -92,13 +196,16 @@ func (c *Conv3D) forwardBlocked(x *tensor.Tensor) *tensor.Tensor {
 						}
 					}
 				}
-				// Flush accumulators to the blocked destination.
-				dstRow := ((ob*od+z)*oh + yy) * ow * bs
+			}
+			// Flush every sample's accumulators to its blocked destination.
+			dstRow := ((ob*od+z)*oh + yy) * ow * bs
+			for b := 0; b < B; b++ {
+				dst := dsts[b].Data
+				a := acc[b*stride:]
 				for j := 0; j < wb; j++ {
-					copy(dst.Data[dstRow+(x0+j)*bs:dstRow+(x0+j)*bs+bs], acc[j*bs:j*bs+bs])
+					copy(dst[dstRow+(x0+j)*bs:dstRow+(x0+j)*bs+bs], a[j*bs:j*bs+bs])
 				}
 			}
 		}
-	})
-	return tensor.FromBlocked(dst)
+	}
 }

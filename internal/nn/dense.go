@@ -103,18 +103,25 @@ func (d *Dense) apply(x *tensor.Tensor) *tensor.Tensor {
 	}
 	y := tensor.New(d.Out)
 	xd, yd := x.Data(), y.Data()
-	wd, bd := d.W.Value.Data(), d.B.Value.Data()
 	d.pool.For(d.Out, 16, func(lo, hi int) {
-		for o := lo; o < hi; o++ {
-			acc := float64(bd[o])
-			row := o * d.In
-			for i := 0; i < d.In; i++ {
-				acc += float64(wd[row+i]) * float64(xd[i])
-			}
-			yd[o] = float32(acc)
-		}
+		d.applyRange(xd, yd, lo, hi)
 	})
 	return y
+}
+
+// applyRange computes output rows [lo, hi) of y = Wx + b. Each row's
+// accumulation is a single sequential float64 loop, so any decomposition of
+// rows — including across batch samples — is bit-identical.
+func (d *Dense) applyRange(xd, yd []float32, lo, hi int) {
+	wd, bd := d.W.Value.Data(), d.B.Value.Data()
+	for o := lo; o < hi; o++ {
+		acc := float64(bd[o])
+		row := o * d.In
+		for i := 0; i < d.In; i++ {
+			acc += float64(wd[row+i]) * float64(xd[i])
+		}
+		yd[o] = float32(acc)
+	}
 }
 
 // Backward implements Layer.

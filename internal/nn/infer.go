@@ -20,13 +20,18 @@ type inferrer interface {
 // run concurrent inference on Clone replicas.
 func (n *Network) Infer(x *tensor.Tensor) *tensor.Tensor {
 	for _, l := range n.Layers {
-		if inf, ok := l.(inferrer); ok {
-			x = inf.Infer(x)
-		} else {
-			x = l.Forward(x)
-		}
+		x = inferLayer(l, x)
 	}
 	return x
+}
+
+// inferLayer runs one layer's inference-only forward, falling back to
+// Forward for layers without one.
+func inferLayer(l Layer, x *tensor.Tensor) *tensor.Tensor {
+	if inf, ok := l.(inferrer); ok {
+		return inf.Infer(x)
+	}
+	return l.Forward(x)
 }
 
 // Infer implements inferrer: the same blocked/direct kernel dispatch as
@@ -65,19 +70,24 @@ func (bn *BatchNorm3D) Infer(x *tensor.Tensor) *tensor.Tensor {
 	n := s[1] * s[2] * s[3]
 	y := tensor.New(s...)
 	xd, yd := x.Data(), y.Data()
-	gd, bd := bn.Gamma.Value.Data(), bn.Beta.Value.Data()
 	for c := 0; c < bn.C; c++ {
-		mean := bn.runMean[c]
-		inv := float32(1 / math.Sqrt(float64(bn.runVar[c])+float64(bn.Eps)))
-		g, b := gd[c], bd[c]
-		// Same grouping as Forward's inference branch, so the results are
-		// bit-identical: h first, then g*h + b.
-		for i := c * n; i < (c+1)*n; i++ {
-			h := (xd[i] - mean) * inv
-			yd[i] = g*h + b
-		}
+		bn.inferChannel(xd, yd, n, c)
 	}
 	return y
+}
+
+// inferChannel normalizes one channel by the running statistics, the unit of
+// intra-batch decomposition. Same grouping as Forward's inference branch, so
+// the results are bit-identical: h first, then g*h + b.
+func (bn *BatchNorm3D) inferChannel(xd, yd []float32, n, c int) {
+	gd, bd := bn.Gamma.Value.Data(), bn.Beta.Value.Data()
+	mean := bn.runMean[c]
+	inv := float32(1 / math.Sqrt(float64(bn.runVar[c])+float64(bn.Eps)))
+	g, b := gd[c], bd[c]
+	for i := c * n; i < (c+1)*n; i++ {
+		h := (xd[i] - mean) * inv
+		yd[i] = g*h + b
+	}
 }
 
 // Infer implements inferrer: dropout is the identity at inference.

@@ -1,0 +1,237 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// allLayerNet builds a network exercising every layer type the batched
+// path dispatches on: a strided direct convolution, batch-norm, a blocked
+// (Algorithm-1) convolution, pooling, dropout, flatten, dense, and
+// activations. Batch-norm's running statistics are populated by training
+// forwards and the network is then switched to inference mode, so the
+// batched path is tested against non-trivial running averages.
+func allLayerNet(t testing.TB, pool *parallel.Pool, seed int64) *Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	net := &Network{InputDim: 12, InputChannels: 1}
+	add := func(l Layer) { net.Layers = append(net.Layers, l) }
+	add(NewConv3D("c1", 1, 16, 3, 2, 1, pool, rng)) // stride 2: direct kernel
+	add(NewBatchNorm3D("bn", 16))
+	add(NewLeakyReLU("c1.act", 0))
+	add(NewConv3D("c2", 16, 16, 3, 1, 1, pool, rng)) // stride 1, 16ch: blocked kernel
+	add(NewAvgPool3D("p1", 2, 2))
+	add(NewDropout("do", 0.3, 7))
+	add(NewFlatten("flat"))
+	add(NewDense("fc1", 16*3*3*3, 8, pool, rng))
+	add(NewLeakyReLU("fc1.act", 0))
+	add(NewDense("fc2", 8, 3, pool, rng))
+
+	for i := 0; i < 3; i++ {
+		x := tensor.New(net.InputShape()...)
+		x.RandNormal(rng, 0, 1)
+		net.Forward(x)
+	}
+	net.SetTraining(false)
+	return net
+}
+
+func randBatch(shape tensor.Shape, n int, seed int64) []*tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]*tensor.Tensor, n)
+	for i := range xs {
+		xs[i] = tensor.New(shape...)
+		xs[i].RandNormal(rng, 0, 1)
+	}
+	return xs
+}
+
+// TestInferBatchMatchesSequential is the batched-path contract: InferBatch
+// over every layer type must be bit-identical to per-sample Infer, for
+// every batch size.
+func TestInferBatchMatchesSequential(t *testing.T) {
+	pool := parallel.NewPool(1)
+	net := allLayerNet(t, pool, 3)
+	for _, B := range []int{1, 2, 3, 5, 8} {
+		xs := randBatch(net.InputShape(), B, int64(100+B))
+		want := make([][]float32, B)
+		for i, x := range xs {
+			want[i] = append([]float32(nil), net.Infer(x).Data()...)
+		}
+		ys := net.InferBatch(xs)
+		if len(ys) != B {
+			t.Fatalf("B=%d: InferBatch returned %d outputs", B, len(ys))
+		}
+		for i, y := range ys {
+			for j, v := range y.Data() {
+				if v != want[i][j] {
+					t.Fatalf("B=%d sample %d out[%d]: batched %v != sequential %v",
+						B, i, j, v, want[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestInferBatchDeterministicAcrossWorkers checks the (sample × task)
+// decomposition never changes results: multi-worker batched outputs equal
+// single-worker batched outputs bit-for-bit.
+func TestInferBatchDeterministicAcrossWorkers(t *testing.T) {
+	pool1 := parallel.NewPool(1)
+	pool4 := parallel.NewPool(4)
+	defer pool4.Close()
+	net1 := allLayerNet(t, pool1, 3)
+	net4 := allLayerNet(t, pool4, 3)
+	xs := randBatch(net1.InputShape(), 6, 11)
+	ys1 := net1.InferBatch(xs)
+	ys4 := net4.InferBatch(xs)
+	for i := range ys1 {
+		d1, d4 := ys1[i].Data(), ys4[i].Data()
+		for j := range d1 {
+			if d1[j] != d4[j] {
+				t.Fatalf("sample %d out[%d]: 4 workers %v != 1 worker %v", i, j, d4[j], d1[j])
+			}
+		}
+	}
+}
+
+// TestInferBatchBufferReuse checks recycled activation buffers never leak
+// one batch's values into the next: interleaved calls with different
+// batches keep reproducing their first answers, and Infer stays consistent
+// after batched calls.
+func TestInferBatchBufferReuse(t *testing.T) {
+	pool := parallel.NewPool(1)
+	net := allLayerNet(t, pool, 5)
+	a := randBatch(net.InputShape(), 4, 21)
+	b := randBatch(net.InputShape(), 7, 22)
+
+	snap := func(ys []*tensor.Tensor) [][]float32 {
+		out := make([][]float32, len(ys))
+		for i, y := range ys {
+			out[i] = append([]float32(nil), y.Data()...)
+		}
+		return out
+	}
+	wantA := snap(net.InferBatch(a))
+	wantB := snap(net.InferBatch(b))
+	for round := 0; round < 3; round++ {
+		gotA := snap(net.InferBatch(a))
+		gotB := snap(net.InferBatch(b))
+		for i := range wantA {
+			for j := range wantA[i] {
+				if gotA[i][j] != wantA[i][j] {
+					t.Fatalf("round %d: batch A sample %d drifted after buffer reuse", round, i)
+				}
+			}
+		}
+		for i := range wantB {
+			for j := range wantB[i] {
+				if gotB[i][j] != wantB[i][j] {
+					t.Fatalf("round %d: batch B sample %d drifted after buffer reuse", round, i)
+				}
+			}
+		}
+	}
+	seq := net.Infer(a[0])
+	for j, v := range seq.Data() {
+		if v != wantA[0][j] {
+			t.Fatalf("sequential Infer diverged after batched calls at out[%d]", j)
+		}
+	}
+}
+
+// TestInferBatchBlockedEdgeShapes sweeps the blocked Conv3D kernel over
+// output widths below, at, and just past the widthBlock accumulator size,
+// checking batched outputs stay bit-identical to the per-sample kernel at
+// the remainder-handling boundaries.
+func TestInferBatchBlockedEdgeShapes(t *testing.T) {
+	pool := parallel.NewPool(2)
+	defer pool.Close()
+	rng := rand.New(rand.NewSource(9))
+	for _, w := range []int{1, 7, widthBlock - 1, widthBlock, widthBlock + 1, 30} {
+		t.Run(fmt.Sprintf("w%d", w), func(t *testing.T) {
+			conv := NewConv3D("c", 16, 16, 3, 1, 1, pool, rng)
+			if !conv.useBlocked() {
+				t.Fatal("test layer should use the blocked kernel")
+			}
+			in := tensor.Shape{16, 2, 3, w}
+			xs := randBatch(in, 3, int64(w))
+			want := make([][]float32, len(xs))
+			for i, x := range xs {
+				want[i] = append([]float32(nil), conv.Infer(x).Data()...)
+			}
+			ctx := &batchCtx{pool: pool, buf: tensor.NewBufPool()}
+			ys := conv.inferBatch(xs, ctx)
+			for i, y := range ys {
+				for j, v := range y.Data() {
+					if v != want[i][j] {
+						t.Fatalf("sample %d out[%d]: batched %v != sequential %v", i, j, v, want[i][j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestInferBatchEdgeCases covers the degenerate batch sizes and the
+// mixed-shape guard.
+func TestInferBatchEdgeCases(t *testing.T) {
+	pool := parallel.NewPool(1)
+	net := allLayerNet(t, pool, 13)
+	if ys := net.InferBatch(nil); ys != nil {
+		t.Fatalf("InferBatch(nil) = %v, want nil", ys)
+	}
+	x := randBatch(net.InputShape(), 1, 31)[0]
+	want := net.Infer(x).Data()
+	got := net.InferBatch([]*tensor.Tensor{x})
+	if len(got) != 1 {
+		t.Fatalf("B=1 returned %d outputs", len(got))
+	}
+	for j, v := range got[0].Data() {
+		if v != want[j] {
+			t.Fatalf("B=1 out[%d]: %v != %v", j, v, want[j])
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mixed-shape batch did not panic")
+		}
+	}()
+	net.InferBatch([]*tensor.Tensor{
+		tensor.New(net.InputShape()...),
+		tensor.New(1, 4, 4, 4),
+	})
+}
+
+// TestInferBatchOnCosmoFlowTopology runs the real topology builder's
+// network (blocked layers engaged at BaseChannels 16) through the batched
+// path against sequential Infer.
+func TestInferBatchOnCosmoFlowTopology(t *testing.T) {
+	pool := parallel.NewPool(2)
+	defer pool.Close()
+	net, err := BuildCosmoFlow(TopologyConfig{InputDim: 8, BaseChannels: 16, Seed: 2, Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := randBatch(net.InputShape(), 4, 41)
+	want := make([][]float32, len(xs))
+	for i, x := range xs {
+		want[i] = append([]float32(nil), net.Infer(x).Data()...)
+	}
+	for _, y := range net.InferBatch(xs) {
+		_ = y
+	}
+	ys := net.InferBatch(xs) // second call exercises recycled buffers
+	for i, y := range ys {
+		for j, v := range y.Data() {
+			if v != want[i][j] {
+				t.Fatalf("sample %d out[%d]: batched %v != sequential %v", i, j, v, want[i][j])
+			}
+		}
+	}
+}

@@ -7,7 +7,10 @@
 // mini-batch size of one per rank (§III-B): convolutional tensors are rank-4
 // [C D H W], dense tensors rank-1 [N]. Backpropagation accumulates parameter
 // gradients into each Param's Grad tensor; the trainer zeroes them between
-// steps and aggregates them across ranks.
+// steps and aggregates them across ranks. For serving, Network.InferBatch
+// adds a true batch dimension on top of the same kernels: a micro-batch of
+// same-shaped volumes runs as one forward pass with batch-innermost
+// convolution loops, bit-identical to per-sample Infer.
 package nn
 
 import (

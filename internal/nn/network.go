@@ -12,6 +12,12 @@ type Network struct {
 	Layers        []Layer
 	InputDim      int // spatial edge length of the expected [C D D D] input
 	InputChannels int // input channel count; 0 means 1
+
+	// batchBuf recycles batched-inference activations across layers and
+	// calls (lazily built by InferBatch). Like the layers' activation
+	// caches it is single-owner state: one network runs one inference at a
+	// time, and Clone replicas each get their own.
+	batchBuf *tensor.BufPool
 }
 
 // Forward runs the full forward pass.

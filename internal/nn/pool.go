@@ -69,32 +69,40 @@ func (p *AvgPool3D) Forward(x *tensor.Tensor) *tensor.Tensor {
 func (p *AvgPool3D) apply(x *tensor.Tensor) *tensor.Tensor {
 	in := x.Shape()
 	out := p.OutputShape(in)
-	ch, id, ih, iw := in[0], in[1], in[2], in[3]
-	od, oh, ow := out[1], out[2], out[3]
 	y := tensor.New(out...)
 	xd, yd := x.Data(), y.Data()
+	for c := 0; c < in[0]; c++ {
+		p.poolChannel(xd, yd, in, out, c)
+	}
+	return y
+}
+
+// poolChannel pools one channel, writing every element of that channel's
+// output. It is the unit of intra-batch thread decomposition: each (sample,
+// channel) task accumulates its windows in the same order as the sequential
+// path, so results are bit-identical under any scheduling.
+func (p *AvgPool3D) poolChannel(xd, yd []float32, in, out tensor.Shape, c int) {
+	id, ih, iw := in[1], in[2], in[3]
+	od, oh, ow := out[1], out[2], out[3]
 	inv := 1 / float32(p.K*p.K*p.K)
-	for c := 0; c < ch; c++ {
-		for z := 0; z < od; z++ {
-			for yy := 0; yy < oh; yy++ {
-				for xx := 0; xx < ow; xx++ {
-					var acc float32
-					for kd := 0; kd < p.K; kd++ {
-						zi := z*p.Stride + kd
-						for kh := 0; kh < p.K; kh++ {
-							yi := yy*p.Stride + kh
-							row := ((c*id+zi)*ih + yi) * iw
-							for kw := 0; kw < p.K; kw++ {
-								acc += xd[row+xx*p.Stride+kw]
-							}
+	for z := 0; z < od; z++ {
+		for yy := 0; yy < oh; yy++ {
+			for xx := 0; xx < ow; xx++ {
+				var acc float32
+				for kd := 0; kd < p.K; kd++ {
+					zi := z*p.Stride + kd
+					for kh := 0; kh < p.K; kh++ {
+						yi := yy*p.Stride + kh
+						row := ((c*id+zi)*ih + yi) * iw
+						for kw := 0; kw < p.K; kw++ {
+							acc += xd[row+xx*p.Stride+kw]
 						}
 					}
-					yd[((c*od+z)*oh+yy)*ow+xx] = acc * inv
 				}
+				yd[((c*od+z)*oh+yy)*ow+xx] = acc * inv
 			}
 		}
 	}
-	return y
 }
 
 // Backward implements Layer: the gradient of each output voxel is spread

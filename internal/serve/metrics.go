@@ -24,6 +24,8 @@ type Metrics struct {
 	queueDepth atomic.Int64 // requests waiting in the batcher
 	inflight   atomic.Int64 // requests admitted but not yet answered
 	latencyNS  atomic.Int64 // total end-to-end latency
+	kernelNS   atomic.Int64 // total batched-forward compute time, per batch
+	queueNS    atomic.Int64 // total batcher queue wait, per request
 	hist       [len(latencyBuckets) + 1]atomic.Int64
 }
 
@@ -47,6 +49,20 @@ func (m *Metrics) observeBatch(n int) {
 	m.batchItems.Add(int64(n))
 }
 
+// observeKernel records one micro-batch's batched-forward compute time,
+// kept separate from queue wait so kernel-level batching gains are visible
+// in /stats rather than folded into end-to-end latency.
+func (m *Metrics) observeKernel(d time.Duration) { m.kernelNS.Add(int64(d)) }
+
+// observeQueueWait records how long one request sat in the batcher before
+// its micro-batch reached a replica.
+func (m *Metrics) observeQueueWait(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	m.queueNS.Add(int64(d))
+}
+
 // Stats is a point-in-time snapshot of a model's metrics, shaped for JSON.
 type Stats struct {
 	Requests   int64   `json:"requests"`
@@ -58,6 +74,13 @@ type Stats struct {
 	MeanMs     float64 `json:"mean_ms"`
 	P50Ms      float64 `json:"p50_ms"`
 	P99Ms      float64 `json:"p99_ms"`
+	// AvgKernelMs is the mean batched-forward compute time per dispatched
+	// micro-batch; AvgQueueMs the mean batcher wait per request. Their
+	// split is what makes kernel-level batching gains observable: under
+	// load AvgKernelMs grows sublinearly in AvgBatch while AvgQueueMs
+	// absorbs the coalescing delay.
+	AvgKernelMs float64 `json:"avg_kernel_ms"`
+	AvgQueueMs  float64 `json:"avg_queue_ms"`
 }
 
 // Snapshot returns the current counters with derived latency quantiles.
@@ -71,6 +94,10 @@ func (m *Metrics) Snapshot() Stats {
 	}
 	if s.Batches > 0 {
 		s.AvgBatch = float64(m.batchItems.Load()) / float64(s.Batches)
+		s.AvgKernelMs = float64(m.kernelNS.Load()) / float64(s.Batches) / 1e6
+	}
+	if items := m.batchItems.Load(); items > 0 {
+		s.AvgQueueMs = float64(m.queueNS.Load()) / float64(items) / 1e6
 	}
 	if s.Requests > 0 {
 		s.MeanMs = float64(m.latencyNS.Load()) / float64(s.Requests) / 1e6

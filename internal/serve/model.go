@@ -69,32 +69,60 @@ func newModel(cfg ModelConfig) (*Model, error) {
 	return m, nil
 }
 
-// runBatch serves one micro-batch on a single replica. The network
-// processes one sample per forward pass (the paper's per-rank batch size),
-// so a batch is a tight loop over the replica's predictor; batches from
-// other dispatch goroutines run on other replicas concurrently. A panic
-// in the forward pass fails the remaining requests of this batch instead
-// of crashing the daemon; the replica holds no cross-request state, so it
-// returns to the pool usable. Caveat: with WorkersPerReplica > 1 a panic
-// raised inside a parallel.Pool worker goroutine cannot be recovered here
-// and still crashes the process — the recovery contract fully holds only
-// for the default single-worker replicas.
+// runBatch serves one micro-batch as a single batched forward pass
+// (nn.InferBatch) on one replica, so dynamic batching amortizes the kernels
+// themselves — one (batch × task) parallel-for per layer — not just the
+// queueing; batches from other dispatch goroutines run on other replicas
+// concurrently. Kernel time is metered separately from the requests' queue
+// wait so the batched path's gains show up in /stats. A panic in the
+// forward pass fails this batch's requests instead of crashing the daemon;
+// the replica holds no cross-request state, so it returns to the pool
+// usable. Caveat: with WorkersPerReplica > 1 a panic raised inside a
+// parallel.Pool worker goroutine cannot be recovered here and still
+// crashes the process — the recovery contract fully holds only for the
+// default single-worker replicas.
 func (m *Model) runBatch(batch []*request) {
 	rep := m.pool.acquire()
 	defer m.pool.release(rep)
-	served := 0
+	start := time.Now()
+	for _, r := range batch {
+		m.metrics.observeQueueWait(start.Sub(r.enqueued))
+	}
+	served := false
 	defer func() {
+		// Un-pin the request buffers on every exit path — a panicking
+		// batch must not leave an idle replica referencing its voxel
+		// volumes until the next dispatch.
+		for i := range rep.voxels {
+			rep.voxels[i] = nil
+		}
 		if p := recover(); p != nil {
 			err := fmt.Errorf("serve: model %s: prediction panic: %v", m.name, p)
-			for _, r := range batch[served:] {
-				r.done <- result{err: err}
+			if served {
+				err = fmt.Errorf("serve: model %s: delivery panic: %v", m.name, p)
+			}
+			for _, r := range batch {
+				select {
+				case r.done <- result{err: err}:
+				default: // already answered before the panic
+				}
 			}
 		}
 	}()
-	for _, r := range batch {
-		pred := rep.pred.PredictVoxels(r.voxels, r.channels, r.dim)
-		served++
-		r.done <- result{pred: pred, batchSize: len(batch)}
+	if cap(rep.voxels) < len(batch) {
+		rep.voxels = make([][]float32, len(batch))
+	}
+	rep.voxels = rep.voxels[:len(batch)]
+	for i, r := range batch {
+		rep.voxels[i] = r.voxels
+	}
+	// Every request passed Predict's shape validation against the same
+	// model, so the batch shares one [channels, dim] shape.
+	preds := rep.pred.PredictVoxels(rep.voxels, batch[0].channels, batch[0].dim)
+	m.metrics.observeKernel(time.Since(start))
+	served = true
+	for i, r := range batch {
+		r.done <- result{pred: preds[i], batchSize: len(batch)}
 	}
 }
 

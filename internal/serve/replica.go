@@ -9,12 +9,16 @@ import (
 	"repro/internal/train"
 )
 
-// replica is one inference worker: a reusable predictor around a
+// replica is one inference worker: a reusable batch predictor around a
 // weight-sharing clone of the model's network, owned by one goroutine at a
-// time.
+// time. A whole micro-batch runs as one nn.InferBatch forward on the
+// replica, so batching amortizes the kernels, not just the queueing.
 type replica struct {
-	pred *train.Predictor
+	pred *train.BatchPredictor
 	pool *parallel.Pool
+
+	// voxels is the reusable batch-assembly buffer for runBatch.
+	voxels [][]float32
 }
 
 // replicaPool is a fixed set of replicas handed out over a channel:
@@ -59,7 +63,7 @@ func newReplicaPool(base *nn.Network, n, workersPerReplica int) (*replicaPool, e
 			pool.Close()
 			return nil, fmt.Errorf("serve: cloning replica %d: %w", i, err)
 		}
-		r := &replica{pred: train.NewPredictor(net), pool: pool}
+		r := &replica{pred: train.NewBatchPredictor(net), pool: pool}
 		p.all = append(p.all, r)
 		p.replicas <- r
 	}

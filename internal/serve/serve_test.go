@@ -266,6 +266,18 @@ func TestHealthzAndStats(t *testing.T) {
 	if ms.P50Ms <= 0 || ms.P99Ms < ms.P50Ms {
 		t.Errorf("latency quantiles p50=%v p99=%v", ms.P50Ms, ms.P99Ms)
 	}
+	// Kernel time is metered per batch, separately from queue wait: compute
+	// must be non-zero, and neither component can exceed the end-to-end
+	// mean it decomposes.
+	if ms.AvgKernelMs <= 0 {
+		t.Errorf("avg_kernel_ms = %v, want > 0", ms.AvgKernelMs)
+	}
+	if ms.AvgQueueMs < 0 {
+		t.Errorf("avg_queue_ms = %v, want >= 0", ms.AvgQueueMs)
+	}
+	if ms.AvgQueueMs > ms.MeanMs {
+		t.Errorf("avg_queue_ms %v exceeds mean latency %v", ms.AvgQueueMs, ms.MeanMs)
+	}
 }
 
 // TestHotSwap checks Load with an existing name atomically replaces the

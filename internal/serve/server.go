@@ -6,9 +6,10 @@
 //
 // Request flow: /predict decodes a voxel volume, the model's batcher
 // coalesces it with its neighbours (up to MaxBatch requests or MaxDelay,
-// whichever first), a dispatch goroutine runs the batch on a free replica,
-// and the handler denormalizes the network output through the priors. The
-// replica pool bounds concurrent forward passes; everything else queues.
+// whichever first), a dispatch goroutine runs the whole micro-batch as one
+// batched forward pass (nn.InferBatch) on a free replica, and the handler
+// denormalizes the network output through the priors. The replica pool
+// bounds concurrent forward passes; everything else queues.
 package serve
 
 import (

@@ -47,6 +47,24 @@ func (b *Blocked) Set(v float32, c, d, h, w int) { b.Data[b.Index(c, d, h, w)] =
 // Zero clears all elements, including the channel padding.
 func (b *Blocked) Zero() { ZeroSlice(b.Data) }
 
+// WrapBlocked builds a blocked volume over an existing slice without
+// copying, the Blocked analogue of FromData: the batched kernels recycle
+// their blocked scratch through a BufPool instead of allocating per call.
+// data must hold exactly ceil(c/BlockSize)·d·h·w·BlockSize values; when c is
+// not a multiple of BlockSize the channel-padding lanes must already be zero
+// (a recycled buffer from a same-shape conversion satisfies this).
+func WrapBlocked(data []float32, c, d, h, w int) *Blocked {
+	if c <= 0 || d <= 0 || h <= 0 || w <= 0 {
+		panic(fmt.Sprintf("tensor: invalid blocked extents c=%d d=%d h=%d w=%d", c, d, h, w))
+	}
+	cb := (c + BlockSize - 1) / BlockSize
+	if len(data) != cb*d*h*w*BlockSize {
+		panic(fmt.Sprintf("tensor: blocked data length %d does not match c=%d d=%d h=%d w=%d (%d elements)",
+			len(data), c, d, h, w, cb*d*h*w*BlockSize))
+	}
+	return &Blocked{C: c, D: d, H: h, W: w, CB: cb, Data: data}
+}
+
 // ToBlocked converts a CDHW tensor (shape [C D H W]) into the blocked layout.
 func ToBlocked(t *Tensor) *Blocked {
 	s := t.Shape()
@@ -55,6 +73,24 @@ func ToBlocked(t *Tensor) *Blocked {
 	}
 	c, d, h, w := s[0], s[1], s[2], s[3]
 	b := NewBlocked(c, d, h, w)
+	ToBlockedInto(t, b)
+	return b
+}
+
+// ToBlockedInto converts a CDHW tensor into dst, which must have matching
+// extents. Only the real channel lanes are written; dst's channel padding is
+// left untouched (NewBlocked zeroes it, and the converters never write it,
+// so recycled buffers stay valid).
+func ToBlockedInto(t *Tensor, b *Blocked) {
+	s := t.Shape()
+	if len(s) != 4 {
+		panic(fmt.Sprintf("tensor: ToBlockedInto requires a rank-4 CDHW tensor, got %v", s))
+	}
+	c, d, h, w := s[0], s[1], s[2], s[3]
+	if b.C != c || b.D != d || b.H != h || b.W != w {
+		panic(fmt.Sprintf("tensor: ToBlockedInto destination [%d %d %d %d] does not match source %v",
+			b.C, b.D, b.H, b.W, s))
+	}
 	src := t.Data()
 	for ch := 0; ch < c; ch++ {
 		cb, ci := ch/BlockSize, ch%BlockSize
@@ -68,13 +104,25 @@ func ToBlocked(t *Tensor) *Blocked {
 			}
 		}
 	}
-	return b
 }
 
 // FromBlocked converts a blocked volume back into a CDHW tensor, discarding
 // the channel padding.
 func FromBlocked(b *Blocked) *Tensor {
 	t := New(b.C, b.D, b.H, b.W)
+	FromBlockedInto(b, t)
+	return t
+}
+
+// FromBlockedInto converts a blocked volume into an existing CDHW tensor of
+// matching shape, discarding the channel padding. Every destination element
+// is written, so recycled output buffers need no clearing.
+func FromBlockedInto(b *Blocked, t *Tensor) {
+	s := t.Shape()
+	if len(s) != 4 || s[0] != b.C || s[1] != b.D || s[2] != b.H || s[3] != b.W {
+		panic(fmt.Sprintf("tensor: FromBlockedInto destination %v does not match source [%d %d %d %d]",
+			s, b.C, b.D, b.H, b.W))
+	}
 	dst := t.Data()
 	for ch := 0; ch < b.C; ch++ {
 		cb, ci := ch/BlockSize, ch%BlockSize
@@ -88,7 +136,6 @@ func FromBlocked(b *Blocked) *Tensor {
 			}
 		}
 	}
-	return t
 }
 
 // BlockedWeights stores convolution weights in the blocked layout
