@@ -5,11 +5,11 @@
 
 GO ?= go
 
-.PHONY: check ci fmt vet build test race bench bench-smoke serve-smoke
+.PHONY: check ci fmt vet build test race bench bench-smoke serve-smoke api-smoke
 
 check: fmt vet build test
 
-ci: fmt vet build test race bench-smoke serve-smoke
+ci: fmt vet build test race bench-smoke serve-smoke api-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -52,3 +52,11 @@ serve-smoke:
 		done; \
 		/tmp/cosmoflow-loadgen -addr http://127.0.0.1:18080 -n 128 -c 8 -dim 16; \
 		rc=$$?; kill -TERM $$pid; wait $$pid; exit $$rc
+
+# v1 API smoke: daemon + curl over both wire encodings, asserting status
+# codes on predict, model lifecycle (list/load/unload), and the error
+# surface (scripts/api_smoke.sh).
+api-smoke:
+	$(GO) build -o /tmp/cosmoflow-serve ./cmd/cosmoflow-serve
+	$(GO) build -o /tmp/cosmoflow-loadgen ./cmd/cosmoflow-loadgen
+	sh scripts/api_smoke.sh

@@ -8,6 +8,8 @@
 package repro
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"math/rand"
 	"os"
@@ -25,6 +27,9 @@ import (
 	"repro/internal/optim"
 	"repro/internal/parallel"
 	"repro/internal/serve"
+	"repro/internal/serve/api"
+	"repro/internal/serve/client"
+	"repro/internal/serve/wire"
 	"repro/internal/stats"
 	"repro/internal/tensor"
 	"repro/internal/tfrecord"
@@ -529,6 +534,71 @@ func BenchmarkInferBatch_VsSequentialLoop(b *testing.B) {
 			p.PredictVoxels(voxels, samples[0].NumChannels(), dim)
 		}
 		b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+	})
+}
+
+// BenchmarkWire_EncodeDecode pits the v1 API's two predict-body encodings
+// against each other on a paper-relevant 64³ volume: JSON (every voxel a
+// decimal string) versus the binary tensor frame (4 bytes per voxel,
+// straight little-endian). This is the per-request wire cost a serving
+// client and server pay before any inference happens — the motivation for
+// application/x-cosmoflow-tensor.
+func BenchmarkWire_EncodeDecode(b *testing.B) {
+	const dim = 64
+	rng := rand.New(rand.NewSource(131))
+	voxels := make([]float32, dim*dim*dim)
+	for i := range voxels {
+		voxels[i] = rng.Float32()
+	}
+	dims := []int{1, dim, dim, dim}
+
+	jsonBody, _, err := client.EncodePredictRequest(client.JSON, dims, voxels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	binBody, _, err := client.EncodePredictRequest(client.Binary, dims, voxels)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("encoded sizes: json %d bytes, binary %d bytes (%.1fx)",
+		len(jsonBody), len(binBody), float64(len(jsonBody))/float64(len(binBody)))
+
+	b.Run("json-encode", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(jsonBody)))
+		for i := 0; i < b.N; i++ {
+			if _, _, err := client.EncodePredictRequest(client.JSON, dims, voxels); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("json-decode", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(jsonBody)))
+		for i := 0; i < b.N; i++ {
+			var req api.PredictRequest
+			if err := json.Unmarshal(jsonBody, &req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("binary-encode", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(binBody)))
+		for i := 0; i < b.N; i++ {
+			if _, _, err := client.EncodePredictRequest(client.Binary, dims, voxels); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("binary-decode", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(binBody)))
+		for i := 0; i < b.N; i++ {
+			if _, err := wire.ReadTensor(bytes.NewReader(binBody), 0); err != nil {
+				b.Fatal(err)
+			}
+		}
 	})
 }
 

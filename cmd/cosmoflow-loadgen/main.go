@@ -1,24 +1,27 @@
 // Command cosmoflow-loadgen is a closed-loop load generator for
-// cosmoflow-serve: c workers each keep one request in flight against
-// /predict until n requests complete, then it reports achieved QPS and the
-// latency distribution (p50/p90/p99) — the measurement harness for the
-// serving subsystem, in the spirit of the paper's scaling methodology
-// (fixed work per worker, wall-clock throughput).
+// cosmoflow-serve: c workers each keep one request in flight against the
+// v1 predict route until n requests complete, then it reports achieved
+// QPS and the latency distribution (p50/p90/p99) — the measurement
+// harness for the serving subsystem, in the spirit of the paper's scaling
+// methodology (fixed work per worker, wall-clock throughput).
 //
-// Usage:
+// Requests go through the typed v1 client (internal/serve/client) in
+// either encoding, so the same harness measures the JSON-vs-binary wire
+// comparison end to end:
 //
-//	cosmoflow-loadgen -addr http://localhost:8080 -n 256 -c 8 -dim 16
+//	cosmoflow-loadgen -addr http://localhost:8080 -n 256 -c 8 -dim 16 -wire binary
+//
+// -dump-body writes one encoded request body to a file and exits, for
+// curl-based smoke tests of the raw HTTP surface (see `make api-smoke`).
 //
 // Exit status is non-zero if any request fails, so scripts can assert the
 // zero-error acceptance criterion.
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"flag"
 	"fmt"
-	"io"
 	"log"
 	"math/rand"
 	"net/http"
@@ -29,7 +32,7 @@ import (
 	"time"
 
 	"repro/internal/cosmo"
-	"repro/internal/serve"
+	"repro/internal/serve/client"
 )
 
 func main() {
@@ -43,19 +46,31 @@ func main() {
 	dim := flag.Int("dim", 16, "voxel edge length of generated request volumes")
 	channels := flag.Int("channels", 1, "input channels of generated request volumes")
 	seed := flag.Int64("seed", 1, "synthetic sample seed")
+	wireFlag := flag.String("wire", "binary", "request/response encoding: json or binary")
+	dumpBody := flag.String("dump-body", "", "write one encoded request body to FILE and exit")
 	flag.Parse()
 	if *n < 1 || *c < 1 {
 		log.Fatal("-n and -c must be positive")
 	}
+	enc, err := client.ParseEncoding(*wireFlag)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	// Pre-generate a pool of deterministic synthetic volumes so request
-	// construction stays off the measured path.
+	// Pre-generate a pool of deterministic synthetic volumes and encode
+	// them once, so request construction stays off the measured path and
+	// the comparison isolates the wire + server cost per encoding.
 	nSamples := *c * 4
 	if nSamples > *n {
 		nSamples = *n
 	}
+	dims := []int{*channels, *dim, *dim, *dim}
 	rng := rand.New(rand.NewSource(*seed))
-	bodies := make([][]byte, nSamples)
+	type body struct {
+		data []byte
+		ct   string
+	}
+	bodies := make([]body, nSamples)
 	for i := range bodies {
 		target := [3]float32{rng.Float32(), rng.Float32(), rng.Float32()}
 		s := cosmo.SyntheticSample(*dim, target, rng.Int63())
@@ -66,14 +81,25 @@ func main() {
 				vox = append(vox, s.Voxels...)
 			}
 		}
-		body, err := json.Marshal(serve.PredictRequest{Model: *model, Voxels: vox})
+		data, ct, err := client.EncodePredictRequest(enc, dims, vox)
 		if err != nil {
 			log.Fatal(err)
 		}
-		bodies[i] = body
+		bodies[i] = body{data, ct}
 	}
 
-	client := &http.Client{Timeout: 60 * time.Second}
+	if *dumpBody != "" {
+		if err := os.WriteFile(*dumpBody, bodies[0].data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d-byte %s request body to %s\n", len(bodies[0].data), bodies[0].ct, *dumpBody)
+		return
+	}
+
+	cl := client.New(*addr,
+		client.WithEncoding(enc),
+		client.WithHTTPClient(&http.Client{Timeout: 60 * time.Second}))
+	ctx := context.Background()
 	var next atomic.Int64
 	var failures atomic.Int64
 	latencies := make([]time.Duration, *n)
@@ -89,8 +115,9 @@ func main() {
 				if i >= *n {
 					return
 				}
+				b := bodies[i%len(bodies)]
 				t0 := time.Now()
-				err := post(client, *addr+"/predict", bodies[i%len(bodies)])
+				_, err := cl.PredictEncoded(ctx, *model, b.data, b.ct)
 				if err != nil {
 					// Excluded from the latency distribution: a fast
 					// connection-refused or a slow client timeout would
@@ -117,6 +144,7 @@ func main() {
 	fails := failures.Load()
 	fmt.Printf("requests:    %d (%d failed)\n", *n, fails)
 	fmt.Printf("concurrency: %d workers (closed loop)\n", *c)
+	fmt.Printf("encoding:    %s (%d-byte bodies)\n", enc, len(bodies[0].data))
 	fmt.Printf("elapsed:     %v\n", elapsed.Round(time.Millisecond))
 	fmt.Printf("throughput:  %.1f successful requests/s\n", float64(len(ok))/elapsed.Seconds())
 	if len(ok) > 0 {
@@ -140,24 +168,4 @@ func main() {
 	if fails > 0 {
 		os.Exit(1)
 	}
-}
-
-// post issues one prediction and fully consumes the response so the
-// client's keep-alive connection is reusable.
-func post(client *http.Client, url string, body []byte) error {
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("status %d: %s", resp.StatusCode, msg)
-	}
-	var pr serve.PredictResponse
-	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
-		return fmt.Errorf("decoding response: %w", err)
-	}
-	io.Copy(io.Discard, resp.Body)
-	return nil
 }

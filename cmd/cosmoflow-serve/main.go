@@ -1,17 +1,26 @@
 // Command cosmoflow-serve is the inference daemon: it loads a trained
 // checkpoint into a replica pool behind a dynamic micro-batcher and serves
-// predictions over HTTP — the ROADMAP's "serve heavy traffic" path on top
-// of the paper's trained network.
+// predictions over the versioned v1 HTTP API — the ROADMAP's "serve heavy
+// traffic" path on top of the paper's trained network.
 //
 // Usage:
 //
 //	cosmoflow-serve -ckpt model.ckpt -dim 16 -base 4 -addr :8080
 //
-// Endpoints:
+// Endpoints (see DESIGN.md "Serving API v1"):
 //
-//	POST /predict  {"model":"default","voxels":[...]} -> predicted parameters
-//	GET  /healthz  liveness + loaded models
-//	GET  /stats    request counters, micro-batch sizes, latency quantiles
+//	POST   /v1/models/{name}:predict  JSON or application/x-cosmoflow-tensor body
+//	GET    /v1/models                 model list with status/config/metrics
+//	PUT    /v1/models/{name}          load or hot-swap a checkpoint at runtime
+//	DELETE /v1/models/{name}          drain + unload
+//	GET    /healthz                   readiness (503 until every model is ready)
+//	GET    /stats                     request counters, batch sizes, latency quantiles
+//	POST   /predict                   deprecated v0 alias (JSON only)
+//
+// The listener comes up immediately and the startup model loads
+// asynchronously, so /healthz genuinely reports readiness: orchestrators
+// (and `make serve-smoke`) poll it until the checkpoint is loaded and the
+// replicas are warmed.
 //
 // SIGINT/SIGTERM triggers a graceful shutdown: the listener closes,
 // admitted requests drain through their micro-batches, then the replicas
@@ -20,6 +29,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
@@ -54,7 +64,10 @@ func main() {
 		log.Print("warning: no -ckpt given; serving freshly initialized weights")
 	}
 	reg := serve.NewRegistry()
-	m, err := reg.Load(serve.ModelConfig{
+	// Load asynchronously: the API (and its 503-until-ready /healthz) is
+	// up while the checkpoint loads and the replicas warm, and more models
+	// can arrive later via PUT /v1/models/{name}.
+	loadDone := reg.LoadAsync(serve.ModelConfig{
 		Name: *name,
 		Topology: nn.TopologyConfig{
 			InputDim:      *dim,
@@ -68,16 +81,26 @@ func main() {
 		MaxBatch:          *maxBatch,
 		MaxDelay:          *maxDelay,
 	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("model %q: input %v, %d replicas x %d workers, max-batch %d, max-delay %v",
-		m.Name(), m.InputShape(), m.Replicas(), *workers, *maxBatch, *maxDelay)
+	go func() {
+		if err := <-loadDone; err != nil {
+			// ErrClosed means the load lost a race with shutdown (or an
+			// operator DELETE) — not a startup failure; let the winner
+			// finish instead of crash-exiting mid-drain.
+			if errors.Is(err, serve.ErrClosed) {
+				return
+			}
+			log.Fatalf("loading startup model: %v", err)
+		}
+		if m, ok := reg.Get(*name); ok {
+			log.Printf("model %q ready: input %v, %d replicas x %d workers, max-batch %d, max-delay %v",
+				m.Name(), m.InputShape(), m.Replicas(), *workers, *maxBatch, *maxDelay)
+		}
+	}()
 
 	srv := serve.NewServer(reg, *addr)
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("listening on %s", *addr)
+	log.Printf("listening on %s (v1 API; /healthz turns 200 when the model is ready)", *addr)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
@@ -86,12 +109,15 @@ func main() {
 		log.Printf("received %v; draining (budget %v)", sig, *drainTimeout)
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
+		m, ok := reg.Get(*name)
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Fatalf("shutdown: %v", err)
 		}
-		st := m.Stats()
-		log.Printf("drained: %d requests served, %d errors, avg batch %.2f, p50 %.2fms, p99 %.2fms",
-			st.Requests, st.Errors, st.AvgBatch, st.P50Ms, st.P99Ms)
+		if ok {
+			st := m.Stats()
+			log.Printf("drained: %d requests served, %d errors, avg batch %.2f, p50 %.2fms, p99 %.2fms",
+				st.Requests, st.Errors, st.AvgBatch, st.P50Ms, st.P99Ms)
+		}
 	case err := <-errCh:
 		if err != nil && err != http.ErrServerClosed {
 			log.Fatal(err)

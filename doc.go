@@ -13,17 +13,22 @@
 // cluster model that regenerates the paper's 8192-node scaling results
 // (internal/hpcsim), the traditional power-spectrum statistics baseline
 // (internal/stats), and a concurrent batched inference serving subsystem —
-// model registry with hot-swap, replica pools of weight-sharing network
-// clones, dynamic micro-batching into true batched forward passes
-// (nn.InferBatch: batch-innermost conv kernels, recycled activation
-// buffers, bit-identical to per-sample inference), stdlib-only HTTP JSON
-// API (internal/serve) — behind the cosmoflow-serve daemon and the
-// cosmoflow-loadgen load generator.
+// model registry with runtime load/hot-swap/unload lifecycle, replica
+// pools of weight-sharing network clones, dynamic micro-batching into true
+// batched forward passes (nn.InferBatch: batch-innermost conv kernels,
+// recycled activation buffers, bit-identical to per-sample inference), and
+// a versioned v1 HTTP API (internal/serve) with content-negotiated
+// encodings: JSON or the binary tensor wire format (internal/serve/wire,
+// ~50-90x faster than JSON per request), shared DTOs (internal/serve/api),
+// and a typed Go client over both encodings (internal/serve/client) —
+// behind the cosmoflow-serve daemon, the cosmoflow-loadgen load generator,
+// and cosmoflow-infer's remote scoring mode.
 //
-// See DESIGN.md for the system inventory and the CI pipeline
-// (.github/workflows/ci.yml, mirrored by `make ci`: fmt, vet, build, test,
-// race on the concurrency-bearing packages, and a serving bench smoke),
-// EXPERIMENTS.md for the paper-versus-measured record of every table and
-// figure, and bench_test.go for the benchmark harness that regenerates
-// them.
+// See DESIGN.md for the system inventory, the "Serving API v1" contract
+// (routes, wire-format layout, versioning/deprecation policy), and the CI
+// pipeline (.github/workflows/ci.yml, mirrored by `make ci`: fmt, vet,
+// build, test, race on the concurrency-bearing packages, and the
+// serving/API smokes), EXPERIMENTS.md for the paper-versus-measured record
+// of every table and figure, and bench_test.go for the benchmark harness
+// that regenerates them.
 package repro

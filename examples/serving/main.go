@@ -1,8 +1,11 @@
 // Serving walkthrough: train a small CosmoFlow model on synthetic
 // universes, check the resulting checkpoint into an inference server with
-// a replica pool and dynamic micro-batching, fire concurrent HTTP traffic
-// at it, and drain it gracefully — the full lifecycle behind
-// cosmoflow-serve and cosmoflow-loadgen, in one self-contained program.
+// a replica pool and dynamic micro-batching, fire concurrent traffic at
+// the versioned v1 API through the typed client — over both the JSON and
+// binary-tensor wire encodings — hot-load and unload a second model at
+// runtime, and drain gracefully. The full lifecycle behind
+// cosmoflow-serve, cosmoflow-loadgen, and cosmoflow-infer -addr, in one
+// self-contained program.
 //
 // Run with:
 //
@@ -10,13 +13,10 @@
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
 	"log"
 	"net"
-	"net/http"
 	"os"
 	"path/filepath"
 	"sync"
@@ -25,14 +25,17 @@ import (
 	"repro/internal/core"
 	"repro/internal/nn"
 	"repro/internal/serve"
+	"repro/internal/serve/api"
+	"repro/internal/serve/client"
 	"repro/internal/train"
 )
 
 func main() {
 	log.SetFlags(0)
 
-	fmt.Println("CosmoFlow serving — train, load, batch, predict, drain")
+	fmt.Println("CosmoFlow serving — train, load, batch, predict, swap, drain")
 	start := time.Now()
+	ctx := context.Background()
 
 	// 1. Train a small model and save its checkpoint, as
 	//    cosmoflow-train -ckpt would.
@@ -80,7 +83,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// 3. Serve it over HTTP on a random local port.
+	// 3. Serve the v1 API over HTTP on a random local port.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
@@ -88,58 +91,85 @@ func main() {
 	srv := serve.NewServer(reg, ln.Addr().String())
 	go srv.Serve(ln)
 	base := "http://" + ln.Addr().String()
-	fmt.Printf("serving %q on %s\n", model.Name(), base)
+	fmt.Printf("serving %q on %s (POST /v1/models/%s:predict)\n", model.Name(), base, model.Name())
 
-	// 4. Concurrent clients: every test sub-volume through POST /predict.
+	// 4. Concurrent clients through the typed v1 client: every test
+	//    sub-volume over the binary tensor wire (4 bytes per voxel on the
+	//    wire instead of JSON decimals).
+	cl := client.New(base, client.WithEncoding(client.Binary))
+	dims := []int{1, dim, dim, dim}
 	var wg sync.WaitGroup
-	type answer struct {
-		est  train.Estimate
-		resp serve.PredictResponse
-	}
-	answers := make([]answer, len(ds.Test))
+	ests := make([]train.Estimate, len(ds.Test))
 	for i, s := range ds.Test {
 		wg.Add(1)
 		go func(i int, voxels []float32, truth [3]float32) {
 			defer wg.Done()
-			body, _ := json.Marshal(serve.PredictRequest{Voxels: voxels})
-			resp, err := http.Post(base+"/predict", "application/json", bytes.NewReader(body))
+			resp, err := cl.Predict(ctx, "", dims, voxels)
 			if err != nil {
-				log.Fatal(err)
+				log.Fatalf("predict %d: %v", i, err)
 			}
-			defer resp.Body.Close()
-			if resp.StatusCode != http.StatusOK {
-				log.Fatalf("predict %d: status %d", i, resp.StatusCode)
-			}
-			if err := json.NewDecoder(resp.Body).Decode(&answers[i].resp); err != nil {
-				log.Fatal(err)
-			}
-			answers[i].est = train.Estimate{
+			ests[i] = train.Estimate{
 				True: ds.Config.Priors.Denormalize(truth),
-				Pred: ds.Config.Priors.Denormalize(answers[i].resp.Normalized),
+				Pred: ds.Config.Priors.Denormalize(resp.Normalized),
 			}
 		}(i, s.Voxels, s.Target)
 	}
 	wg.Wait()
 
-	ests := make([]train.Estimate, len(answers))
-	for i, a := range answers {
-		ests[i] = a.est
-	}
-	fmt.Println("\nserved parameter estimates (held-out simulation):")
+	fmt.Println("\nserved parameter estimates (held-out simulation, binary wire):")
 	fmt.Print(train.FormatEstimates(ests[:4]))
 	re := train.RelativeErrors(ests)
 	fmt.Printf("average relative errors: ΩM %.3f  σ8 %.3f  ns %.3f\n", re[0], re[1], re[2])
 
-	// 5. Observability: the /stats endpoint the daemon exposes.
+	// 5. The JSON encoding answers bit-identically — same bytes on the
+	//    wire is a format choice, not a numerics choice.
+	jsonCl := client.New(base, client.WithEncoding(client.JSON))
+	binResp, err := cl.Predict(ctx, "", dims, ds.Test[0].Voxels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jsonResp, err := jsonCl.Predict(ctx, "", dims, ds.Test[0].Voxels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwire check: binary %v == json %v: %v\n",
+		binResp.Normalized, jsonResp.Normalized, binResp.Normalized == jsonResp.Normalized)
+
+	// 6. Runtime lifecycle: hot-load a second model from the same
+	//    checkpoint under a new name, list both, then drain and unload it
+	//    — all over the API, no restart.
+	if _, err := cl.LoadModel(ctx, "canary", api.LoadModelRequest{
+		CheckpointPath: ckpt, InputDim: dim, BaseChannels: 2, Replicas: 1,
+	}); err != nil {
+		log.Fatal(err)
+	}
+	models, err := cl.ListModels(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nmodels after hot-load:")
+	for _, m := range models {
+		fmt.Printf("  %-8s %-6s replicas=%d requests=%d\n",
+			m.Name, m.State, m.Replicas, m.Stats.Requests)
+	}
+	if _, err := cl.Predict(ctx, "canary", dims, ds.Test[0].Voxels); err != nil {
+		log.Fatal(err)
+	}
+	if err := cl.UnloadModel(ctx, "canary"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("canary model served one prediction and unloaded")
+
+	// 7. Observability: the /stats endpoint the daemon exposes.
 	st := model.Stats()
 	fmt.Printf("\nstats: %d requests in %d micro-batches (avg %.2f), p50 %.2fms  p99 %.2fms\n",
 		st.Requests, st.Batches, st.AvgBatch, st.P50Ms, st.P99Ms)
 
-	// 6. Graceful shutdown: listener closes, admitted requests drain,
+	// 8. Graceful shutdown: listener closes, admitted requests drain,
 	//    replicas release.
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
-	if err := srv.Shutdown(ctx); err != nil {
+	if err := srv.Shutdown(sctx); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("drained cleanly; total time %v\n", time.Since(start).Round(time.Millisecond))

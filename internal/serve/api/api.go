@@ -1,0 +1,200 @@
+// Package api defines the versioned v1 serving surface shared by the
+// server (internal/serve) and the typed client (internal/serve/client):
+// request/response DTOs, the error envelope, header names, and error
+// codes. It depends only on the wire codec and the standard library, so
+// clients link it without pulling in the network stack.
+//
+// Routes (see DESIGN.md "Serving API v1" for the full contract):
+//
+//	POST   /v1/models/{name}:predict   score one volume (JSON or binary tensor)
+//	GET    /v1/models                  list models with status/config/metrics
+//	GET    /v1/models/{name}           one model's status/config/metrics
+//	PUT    /v1/models/{name}           load or hot-swap a checkpoint
+//	DELETE /v1/models/{name}           drain and unload
+//	GET    /healthz                    readiness (503 until every model is ready)
+//	GET    /stats                      per-model serving counters
+//	POST   /predict                    deprecated v0 alias of :predict
+//
+// Predict bodies are negotiated by Content-Type — wire.ContentTypeJSON
+// (PredictRequest) or wire.ContentTypeTensor (one [C D H W] or [D H W]
+// float32 frame) — and responses by Accept: JSON yields PredictResponse;
+// the tensor content type yields a [2 3] float64 frame (row 0 the
+// denormalized parameters, row 1 the normalized network outputs, exact in
+// float64) with the remaining PredictResponse fields carried in the
+// X-Cosmoflow-* headers. Errors are always the JSON ErrorResponse
+// envelope, whatever the negotiated encoding.
+package api
+
+// DefaultModel is the model name the server uses when a request does not
+// name one (the legacy /predict route with an empty "model" field).
+const DefaultModel = "default"
+
+// Header names used by the v1 API.
+const (
+	// HeaderRequestID is echoed from the request (or generated server-side)
+	// on every response, and repeated in the error envelope.
+	HeaderRequestID = "X-Request-Id"
+	// HeaderModel carries PredictResponse.Model on binary responses.
+	HeaderModel = "X-Cosmoflow-Model"
+	// HeaderBatchSize carries PredictResponse.BatchSize on binary responses.
+	HeaderBatchSize = "X-Cosmoflow-Batch-Size"
+	// HeaderLatencyMs carries PredictResponse.LatencyMs on binary responses.
+	HeaderLatencyMs = "X-Cosmoflow-Latency-Ms"
+)
+
+// Error codes carried in the error envelope, mirroring the HTTP status.
+const (
+	CodeInvalidArgument  = "INVALID_ARGUMENT"   // 400
+	CodeNotFound         = "NOT_FOUND"          // 404
+	CodeMethodNotAllowed = "METHOD_NOT_ALLOWED" // 405
+	CodeUnsupportedMedia = "UNSUPPORTED_MEDIA"  // 415
+	CodePayloadTooLarge  = "PAYLOAD_TOO_LARGE"  // 413
+	CodeUnavailable      = "UNAVAILABLE"        // 503 (draining/hot-swap; retry)
+	CodeInternal         = "INTERNAL"           // 500
+)
+
+// Model lifecycle states reported by /v1/models and /healthz.
+const (
+	StateLoading = "loading" // build/checkpoint-load in progress, no instance serving yet
+	StateReady   = "ready"   // checkpoint loaded, replicas warmed, accepting requests
+	StateFailed  = "failed"  // last load failed and no instance is serving
+)
+
+// ErrorDetail is the typed error payload.
+type ErrorDetail struct {
+	Code      string `json:"code"`
+	Message   string `json:"message"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// ErrorResponse is the envelope every non-2xx response carries.
+type ErrorResponse struct {
+	Error ErrorDetail `json:"error"`
+}
+
+// Params is the denormalized cosmological parameter triple.
+type Params struct {
+	OmegaM float64 `json:"omega_m"`
+	Sigma8 float64 `json:"sigma8"`
+	NS     float64 `json:"ns"`
+}
+
+// PredictRequest is the JSON predict body. Model is honored only by the
+// legacy /predict route; v1 takes the model from the URL.
+type PredictRequest struct {
+	Model  string    `json:"model,omitempty"`
+	Voxels []float32 `json:"voxels"`
+}
+
+// PredictResponse is the predict answer (JSON form; the binary form
+// carries Params+Normalized in a [2 3] float64 tensor and the rest in
+// headers).
+type PredictResponse struct {
+	Model      string     `json:"model"`
+	Params     Params     `json:"params"`
+	Normalized [3]float32 `json:"normalized"`
+	BatchSize  int        `json:"batch_size"`
+	LatencyMs  float64    `json:"latency_ms"`
+	RequestID  string     `json:"request_id,omitempty"`
+}
+
+// PredictTensorDims is the shape of the binary predict response frame:
+// row 0 Params (ΩM, σ8, ns), row 1 Normalized widened to float64 (exact).
+var PredictTensorDims = []int{2, 3}
+
+// Stats is one model's serving counters (the /stats and ModelStatus
+// metrics shape). internal/serve aliases this type, so server-side metrics
+// snapshots are these values directly.
+type Stats struct {
+	Requests   int64   `json:"requests"`
+	Errors     int64   `json:"errors"`
+	Batches    int64   `json:"batches"`
+	AvgBatch   float64 `json:"avg_batch"`
+	QueueDepth int64   `json:"queue_depth"`
+	Inflight   int64   `json:"inflight"`
+	MeanMs     float64 `json:"mean_ms"`
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	// AvgKernelMs is the mean batched-forward compute time per dispatched
+	// micro-batch; AvgQueueMs the mean batcher wait per request. Their
+	// split is what makes kernel-level batching gains observable: under
+	// load AvgKernelMs grows sublinearly in AvgBatch while AvgQueueMs
+	// absorbs the coalescing delay.
+	AvgKernelMs float64 `json:"avg_kernel_ms"`
+	AvgQueueMs  float64 `json:"avg_queue_ms"`
+}
+
+// ModelStatus is one model's entry in GET /v1/models: lifecycle state,
+// the config it was loaded with, and its live metrics when ready.
+type ModelStatus struct {
+	Name  string `json:"name"`
+	State string `json:"state"`
+	// Error is the last load failure; set when State is "failed", and also
+	// alongside "ready" when a later hot-swap attempt failed and the
+	// previous instance kept serving.
+	Error             string  `json:"error,omitempty"`
+	InputShape        []int   `json:"input_shape,omitempty"` // [C D H W], ready models only
+	Replicas          int     `json:"replicas,omitempty"`
+	WorkersPerReplica int     `json:"workers_per_replica,omitempty"`
+	MaxBatch          int     `json:"max_batch,omitempty"`
+	MaxDelayMs        float64 `json:"max_delay_ms,omitempty"`
+	CheckpointPath    string  `json:"checkpoint_path,omitempty"`
+	Stats             *Stats  `json:"stats,omitempty"`
+}
+
+// ModelList is the GET /v1/models answer, sorted by name.
+type ModelList struct {
+	Models []ModelStatus `json:"models"`
+}
+
+// LoadModelRequest is the PUT /v1/models/{name} body: the topology the
+// checkpoint was trained with plus serving knobs. CheckpointPath is a
+// server-local path (this is an operator API, in the spirit of
+// TF-Serving's model-config reloads); empty serves fresh weights.
+type LoadModelRequest struct {
+	CheckpointPath    string  `json:"checkpoint_path,omitempty"`
+	InputDim          int     `json:"input_dim"`
+	InputChannels     int     `json:"input_channels,omitempty"`      // default 1
+	BaseChannels      int     `json:"base_channels,omitempty"`       // default 4
+	Replicas          int     `json:"replicas,omitempty"`            // default 1
+	WorkersPerReplica int     `json:"workers_per_replica,omitempty"` // default 1
+	MaxBatch          int     `json:"max_batch,omitempty"`           // default 8
+	MaxDelayMs        float64 `json:"max_delay_ms,omitempty"`        // default 2
+}
+
+// UnloadModelResponse is the DELETE /v1/models/{name} answer; the drain
+// completes in the background while in-flight requests finish unaffected.
+type UnloadModelResponse struct {
+	Model     string `json:"model"`
+	Status    string `json:"status"` // "unloading"
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// ModelHealth is one model's readiness entry in /healthz.
+type ModelHealth struct {
+	Name  string `json:"name"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+// HealthResponse is the /healthz answer. Status is "ok" (200) only when
+// at least one model is configured and every configured model is ready;
+// otherwise "unavailable" (503) — which is what makes a startup readiness
+// poll load-bearing.
+type HealthResponse struct {
+	Status  string        `json:"status"`
+	Models  []ModelHealth `json:"models"`
+	UptimeS float64       `json:"uptime_s"`
+}
+
+// ModelStats is one model's entry in the /stats answer.
+type ModelStats struct {
+	Stats
+	Replicas int `json:"replicas"`
+}
+
+// StatsResponse is the /stats answer.
+type StatsResponse struct {
+	UptimeS float64               `json:"uptime_s"`
+	Models  map[string]ModelStats `json:"models"`
+}

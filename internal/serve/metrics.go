@@ -3,6 +3,8 @@ package serve
 import (
 	"sync/atomic"
 	"time"
+
+	"repro/internal/serve/api"
 )
 
 // latencyBuckets are the upper bounds (milliseconds) of the request-latency
@@ -63,25 +65,10 @@ func (m *Metrics) observeQueueWait(d time.Duration) {
 	m.queueNS.Add(int64(d))
 }
 
-// Stats is a point-in-time snapshot of a model's metrics, shaped for JSON.
-type Stats struct {
-	Requests   int64   `json:"requests"`
-	Errors     int64   `json:"errors"`
-	Batches    int64   `json:"batches"`
-	AvgBatch   float64 `json:"avg_batch"`
-	QueueDepth int64   `json:"queue_depth"`
-	Inflight   int64   `json:"inflight"`
-	MeanMs     float64 `json:"mean_ms"`
-	P50Ms      float64 `json:"p50_ms"`
-	P99Ms      float64 `json:"p99_ms"`
-	// AvgKernelMs is the mean batched-forward compute time per dispatched
-	// micro-batch; AvgQueueMs the mean batcher wait per request. Their
-	// split is what makes kernel-level batching gains observable: under
-	// load AvgKernelMs grows sublinearly in AvgBatch while AvgQueueMs
-	// absorbs the coalescing delay.
-	AvgKernelMs float64 `json:"avg_kernel_ms"`
-	AvgQueueMs  float64 `json:"avg_queue_ms"`
-}
+// Stats is a point-in-time snapshot of a model's metrics. The type lives
+// in the api package (it is part of the v1 wire surface — /stats and
+// ModelStatus.Stats); the alias keeps server-side code reading naturally.
+type Stats = api.Stats
 
 // Snapshot returns the current counters with derived latency quantiles.
 func (m *Metrics) Snapshot() Stats {

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/cosmo"
 	"repro/internal/nn"
+	"repro/internal/serve/api"
 	"repro/internal/train"
 )
 
@@ -140,7 +141,7 @@ func TestPredictHTTPRoundTrip(t *testing.T) {
 	defer srv.Close()
 
 	s := testSamples(1, 11)[0]
-	body, err := json.Marshal(PredictRequest{Voxels: s.Voxels})
+	body, err := json.Marshal(api.PredictRequest{Voxels: s.Voxels})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestPredictHTTPRoundTrip(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d, want 200", resp.StatusCode)
 	}
-	var got PredictResponse
+	var got api.PredictResponse
 	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
 		t.Fatal(err)
 	}
@@ -212,6 +213,13 @@ func TestHTTPErrors(t *testing.T) {
 	}
 	if resp := post(`{"voxels":[1,2,3]}`); resp.StatusCode != http.StatusBadRequest {
 		t.Errorf("wrong voxel count status %d, want 400", resp.StatusCode)
+	} else {
+		// The deprecated route's error contract is frozen at the v0 shape:
+		// a bare string, not the v1 envelope object.
+		var v0 map[string]string
+		if err := json.NewDecoder(resp.Body).Decode(&v0); err != nil || v0["error"] == "" {
+			t.Errorf("legacy /predict error body not the v0 {\"error\":\"msg\"} shape: %v (err %v)", v0, err)
+		}
 	}
 }
 
@@ -238,12 +246,13 @@ func TestHealthzAndStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var health HealthResponse
+	var health api.HealthResponse
 	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if health.Status != "ok" || len(health.Models) != 1 || health.Models[0] != DefaultModel {
+	if health.Status != "ok" || len(health.Models) != 1 ||
+		health.Models[0].Name != DefaultModel || health.Models[0].State != string(StateReady) {
 		t.Errorf("healthz = %+v", health)
 	}
 
@@ -251,7 +260,7 @@ func TestHealthzAndStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var stats StatsResponse
+	var stats api.StatsResponse
 	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
 		t.Fatal(err)
 	}
@@ -389,14 +398,14 @@ func TestGracefulShutdownDrains(t *testing.T) {
 		wg.Add(1)
 		go func(i int, voxels []float32) {
 			defer wg.Done()
-			body, _ := json.Marshal(PredictRequest{Voxels: voxels})
+			body, _ := json.Marshal(api.PredictRequest{Voxels: voxels})
 			resp, err := http.Post(srv.URL+"/predict", "application/json", bytes.NewReader(body))
 			if err != nil {
 				codes[i] = -1
 				return
 			}
 			defer resp.Body.Close()
-			var pr PredictResponse
+			var pr api.PredictResponse
 			if resp.StatusCode == http.StatusOK {
 				if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
 					codes[i] = -2

@@ -1,34 +1,52 @@
 // Package serve is the concurrent batched inference subsystem: a model
-// registry with hot-swap, per-model replica pools of weight-sharing
-// network clones, a dynamic micro-batcher, and a stdlib-only HTTP JSON
-// API — the path from the paper's trained network to the ROADMAP's
-// "serve heavy traffic" north star.
+// registry with hot-swap and runtime load/unload, per-model replica pools
+// of weight-sharing network clones, a dynamic micro-batcher, and a
+// stdlib-only HTTP API — the path from the paper's trained network to the
+// ROADMAP's "serve heavy traffic" north star.
 //
-// Request flow: /predict decodes a voxel volume, the model's batcher
-// coalesces it with its neighbours (up to MaxBatch requests or MaxDelay,
-// whichever first), a dispatch goroutine runs the whole micro-batch as one
-// batched forward pass (nn.InferBatch) on a free replica, and the handler
-// denormalizes the network output through the priors. The replica pool
-// bounds concurrent forward passes; everything else queues.
+// The HTTP surface is the versioned v1 API (see internal/serve/api):
+// predictions via POST /v1/models/{name}:predict with content-negotiated
+// encodings (JSON, or the internal/serve/wire binary tensor frame that
+// kills the multi-MB JSON encode/decode on the hot path), model lifecycle
+// via GET/PUT/DELETE on /v1/models, readiness via GET /healthz (503 until
+// every configured model is ready), counters via GET /stats, and the
+// deprecated v0 alias POST /predict.
+//
+// Request flow: a predict handler decodes a voxel volume, the model's
+// batcher coalesces it with its neighbours (up to MaxBatch requests or
+// MaxDelay, whichever first), a dispatch goroutine runs the whole
+// micro-batch as one batched forward pass (nn.InferBatch) on a free
+// replica, and the handler denormalizes the network output through the
+// priors. The replica pool bounds concurrent forward passes; everything
+// else queues.
 package serve
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"mime"
 	"net"
 	"net/http"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/cosmo"
+	"repro/internal/nn"
+	"repro/internal/serve/api"
+	"repro/internal/serve/wire"
 )
 
-// maxBodyBytes bounds /predict request bodies: a paper-size 128³ float
-// volume is ~2M voxels, which JSON-encodes to tens of MB.
+// maxBodyBytes bounds predict request bodies: a paper-size 128³ float
+// volume is ~2M voxels, which JSON-encodes to tens of MB (the binary
+// tensor frame carries the same volume in 4 bytes per voxel).
 const maxBodyBytes = 256 << 20
 
-// Server exposes a Registry over HTTP: POST /predict, GET /healthz,
-// GET /stats.
+// Server exposes a Registry over HTTP.
 type Server struct {
 	reg   *Registry
 	http  *http.Server
@@ -39,7 +57,9 @@ type Server struct {
 func NewServer(reg *Registry, addr string) *Server {
 	s := &Server{reg: reg, start: time.Now()}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/predict", s.handlePredict)
+	mux.HandleFunc("/v1/models", s.handleModels)
+	mux.HandleFunc("/v1/models/", s.handleModelItem)
+	mux.HandleFunc("/predict", s.handleLegacyPredict)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
 	s.http = &http.Server{
@@ -47,7 +67,7 @@ func NewServer(reg *Registry, addr string) *Server {
 		Handler: mux,
 		// Bound header arrival and idle keep-alives so stalled clients
 		// (slowloris) cannot pin handler goroutines forever. No ReadTimeout:
-		// large /predict bodies on slow links are legitimate.
+		// large predict bodies on slow links are legitimate.
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
@@ -86,121 +106,467 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// PredictRequest is the /predict JSON body.
-type PredictRequest struct {
-	// Model selects a registry entry; empty means DefaultModel.
-	Model string `json:"model,omitempty"`
-	// Voxels is the preprocessed sub-volume in [C D H W] row-major order;
-	// its length must match the model's input shape.
-	Voxels []float32 `json:"voxels"`
+// requestID echoes the caller's X-Request-Id (or mints one) onto the
+// response, so every answer — success or error envelope — is traceable
+// across client, proxy, and server logs.
+func requestID(w http.ResponseWriter, r *http.Request) string {
+	rid := r.Header.Get(api.HeaderRequestID)
+	if rid == "" || len(rid) > 128 {
+		var b [8]byte
+		_, _ = rand.Read(b[:])
+		rid = hex.EncodeToString(b[:])
+	}
+	w.Header().Set(api.HeaderRequestID, rid)
+	return rid
 }
 
-// PredictedParams is the denormalized parameter triple in the /predict
-// response.
-type PredictedParams struct {
-	OmegaM float64 `json:"omega_m"`
-	Sigma8 float64 `json:"sigma8"`
-	NS     float64 `json:"ns"`
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", wire.ContentTypeJSON)
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
 }
 
-// PredictResponse is the /predict JSON answer.
-type PredictResponse struct {
-	Model      string          `json:"model"`
-	Params     PredictedParams `json:"params"`
-	Normalized [3]float32      `json:"normalized"`
-	BatchSize  int             `json:"batch_size"`
-	LatencyMs  float64         `json:"latency_ms"`
+// writeAPIError emits the typed error envelope. Errors are always JSON,
+// whatever encoding the request negotiated for success responses.
+func writeAPIError(w http.ResponseWriter, rid string, status int, code, msg string) {
+	writeJSON(w, status, api.ErrorResponse{Error: api.ErrorDetail{
+		Code: code, Message: msg, RequestID: rid,
+	}})
 }
 
-// HealthResponse is the /healthz JSON answer.
-type HealthResponse struct {
-	Status  string   `json:"status"`
-	Models  []string `json:"models"`
-	UptimeS float64  `json:"uptime_s"`
+// methodNotAllowed answers 405 with the route's Allow set, per RFC 9110.
+func methodNotAllowed(w http.ResponseWriter, rid string, allowed ...string) {
+	w.Header().Set("Allow", strings.Join(allowed, ", "))
+	writeAPIError(w, rid, http.StatusMethodNotAllowed, api.CodeMethodNotAllowed,
+		"method not allowed; allowed: "+strings.Join(allowed, ", "))
 }
 
-// ModelStats is one model's entry in the /stats answer.
-type ModelStats struct {
-	Stats
-	Replicas int `json:"replicas"`
-}
-
-// StatsResponse is the /stats JSON answer.
-type StatsResponse struct {
-	UptimeS float64               `json:"uptime_s"`
-	Models  map[string]ModelStats `json:"models"`
-}
-
-func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "POST required")
+// handleModels is the /v1/models collection: GET lists every entry with
+// status, config, and metrics.
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	rid := requestID(w, r)
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, rid, http.MethodGet)
 		return
 	}
-	var req PredictRequest
+	infos := s.reg.Info()
+	list := api.ModelList{Models: make([]api.ModelStatus, 0, len(infos))}
+	for _, info := range infos {
+		list.Models = append(list.Models, modelStatus(info))
+	}
+	writeJSON(w, http.StatusOK, list)
+}
+
+// handleModelItem routes /v1/models/{name} (GET status, PUT load/swap,
+// DELETE unload) and /v1/models/{name}:predict (POST).
+func (s *Server) handleModelItem(w http.ResponseWriter, r *http.Request) {
+	rid := requestID(w, r)
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/models/")
+	if rest == "" || strings.Contains(rest, "/") {
+		writeAPIError(w, rid, http.StatusNotFound, api.CodeNotFound, "no such route: "+r.URL.Path)
+		return
+	}
+	if name, ok := strings.CutSuffix(rest, ":predict"); ok {
+		if name == "" {
+			writeAPIError(w, rid, http.StatusNotFound, api.CodeNotFound, "missing model name")
+			return
+		}
+		if r.Method != http.MethodPost {
+			methodNotAllowed(w, rid, http.MethodPost)
+			return
+		}
+		s.predict(w, r, rid, name)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		s.getModel(w, rid, rest)
+	case http.MethodPut:
+		s.loadModel(w, r, rid, rest)
+	case http.MethodDelete:
+		s.unloadModel(w, rid, rest)
+	default:
+		methodNotAllowed(w, rid, http.MethodGet, http.MethodPut, http.MethodDelete)
+	}
+}
+
+// predict decodes a voxel volume per the request Content-Type, scores it
+// on the named model, and answers per the Accept header.
+func (s *Server) predict(w http.ResponseWriter, r *http.Request, rid, name string) {
+	m, ok := s.reg.Get(name)
+	if !ok {
+		s.modelMiss(w, rid, name)
+		return
+	}
+	voxels, decOK := s.decodeVoxels(w, r, rid)
+	if !decOK {
+		return
+	}
+	pred, err := m.Predict(voxels)
+	if err != nil {
+		writePredictError(w, rid, err)
+		return
+	}
+	resp := api.PredictResponse{
+		Model:      m.Name(),
+		Params:     toParams(pred.Params),
+		Normalized: pred.Normalized,
+		BatchSize:  pred.BatchSize,
+		LatencyMs:  float64(pred.Latency) / 1e6,
+		RequestID:  rid,
+	}
+	if acceptsTensor(r) {
+		writeTensorPrediction(w, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// modelMiss distinguishes "never heard of it" (404) from "configured but
+// not serving yet / anymore" (503, retryable): a client polling a model
+// that is still loading should back off, not give up.
+func (s *Server) modelMiss(w http.ResponseWriter, rid, name string) {
+	info, ok := s.reg.InfoFor(name)
+	if !ok {
+		writeAPIError(w, rid, http.StatusNotFound, api.CodeNotFound, "unknown model "+name)
+		return
+	}
+	msg := fmt.Sprintf("model %s is %s", name, info.State)
+	if info.Err != nil {
+		msg += ": " + info.Err.Error()
+	}
+	writeAPIError(w, rid, http.StatusServiceUnavailable, api.CodeUnavailable, msg)
+}
+
+// decodeVoxels reads the request body as either a binary tensor frame or
+// the JSON PredictRequest, per Content-Type. On failure it writes the
+// error response and reports false.
+func (s *Server) decodeVoxels(w http.ResponseWriter, r *http.Request, rid string) ([]float32, bool) {
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	ct := r.Header.Get("Content-Type")
+	mediaType := ct
+	if ct != "" {
+		if mt, _, err := mime.ParseMediaType(ct); err == nil {
+			mediaType = mt
+		}
+	}
+	switch mediaType {
+	case wire.ContentTypeTensor:
+		t, err := wire.ReadTensor(body, maxBodyBytes)
+		if err != nil {
+			writeWireError(w, rid, err)
+			return nil, false
+		}
+		if t.DType != wire.Float32 {
+			writeAPIError(w, rid, http.StatusBadRequest, api.CodeInvalidArgument,
+				"voxel tensors must be float32, got "+t.DType.String())
+			return nil, false
+		}
+		// [C D H W] or [D H W] (implying one channel); the model's own
+		// shape check rejects mismatched element counts.
+		if len(t.Dims) != 3 && len(t.Dims) != 4 {
+			writeAPIError(w, rid, http.StatusBadRequest, api.CodeInvalidArgument,
+				fmt.Sprintf("voxel tensors must be [C D H W] or [D H W], got %d dims", len(t.Dims)))
+			return nil, false
+		}
+		return t.F32, true
+	case wire.ContentTypeJSON, "":
+		var req api.PredictRequest
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			writeBodyError(w, rid, err)
+			return nil, false
+		}
+		return req.Voxels, true
+	default:
+		writeAPIError(w, rid, http.StatusUnsupportedMediaType, api.CodeUnsupportedMedia,
+			"unsupported Content-Type "+ct+"; use "+wire.ContentTypeJSON+" or "+wire.ContentTypeTensor)
+		return nil, false
+	}
+}
+
+// acceptsTensor reports whether the client asked for a binary response.
+// Only an explicit Accept of the tensor content type selects it; default
+// and */* stay JSON, so curl and browsers see text.
+func acceptsTensor(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), wire.ContentTypeTensor)
+}
+
+// writeTensorPrediction encodes the [2 3] float64 response frame (row 0
+// the denormalized params, row 1 the normalized outputs — float32 widened
+// to float64, which is exact, so binary answers stay bit-comparable to
+// JSON ones) with the scalar fields in headers.
+func writeTensorPrediction(w http.ResponseWriter, resp api.PredictResponse) {
+	t, err := wire.FromFloat64(api.PredictTensorDims, []float64{
+		resp.Params.OmegaM, resp.Params.Sigma8, resp.Params.NS,
+		float64(resp.Normalized[0]), float64(resp.Normalized[1]), float64(resp.Normalized[2]),
+	})
+	if err != nil {
+		writeAPIError(w, resp.RequestID, http.StatusInternalServerError, api.CodeInternal, err.Error())
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", wire.ContentTypeTensor)
+	h.Set("Content-Length", strconv.Itoa(t.EncodedSize()))
+	h.Set(api.HeaderModel, resp.Model)
+	h.Set(api.HeaderBatchSize, strconv.Itoa(resp.BatchSize))
+	h.Set(api.HeaderLatencyMs, strconv.FormatFloat(resp.LatencyMs, 'g', -1, 64))
+	w.WriteHeader(http.StatusOK)
+	_, _ = t.WriteTo(w)
+}
+
+// writeWireError maps a tensor-frame decode failure: transport size caps
+// to 413, everything else (malformed frames included) to 400.
+func writeWireError(w http.ResponseWriter, rid string, err error) {
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.As(err, &tooBig), errors.Is(err, wire.ErrTooLarge):
+		writeAPIError(w, rid, http.StatusRequestEntityTooLarge, api.CodePayloadTooLarge, err.Error())
+	default:
+		writeAPIError(w, rid, http.StatusBadRequest, api.CodeInvalidArgument, err.Error())
+	}
+}
+
+// writeBodyError maps a JSON body decode failure the same way.
+func writeBodyError(w http.ResponseWriter, rid string, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeAPIError(w, rid, http.StatusRequestEntityTooLarge, api.CodePayloadTooLarge, err.Error())
+		return
+	}
+	writeAPIError(w, rid, http.StatusBadRequest, api.CodeInvalidArgument, "decoding request: "+err.Error())
+}
+
+// writePredictError maps Model.Predict failures onto the envelope.
+func writePredictError(w http.ResponseWriter, rid string, err error) {
+	switch {
+	case errors.Is(err, ErrClosed):
+		// The model was hot-swapped, unloaded, or the server is draining;
+		// the client should retry (and will resolve the new state).
+		writeAPIError(w, rid, http.StatusServiceUnavailable, api.CodeUnavailable, err.Error())
+	case errors.Is(err, ErrBadRequest):
+		writeAPIError(w, rid, http.StatusBadRequest, api.CodeInvalidArgument, err.Error())
+	default:
+		writeAPIError(w, rid, http.StatusInternalServerError, api.CodeInternal, err.Error())
+	}
+}
+
+// getModel answers GET /v1/models/{name}.
+func (s *Server) getModel(w http.ResponseWriter, rid, name string) {
+	info, ok := s.reg.InfoFor(name)
+	if !ok {
+		writeAPIError(w, rid, http.StatusNotFound, api.CodeNotFound, "unknown model "+name)
+		return
+	}
+	writeJSON(w, http.StatusOK, modelStatus(info))
+}
+
+// loadModel answers PUT /v1/models/{name}: build the requested topology,
+// load the checkpoint, warm the replicas, and atomically install the new
+// instance — the existing instance (if any) keeps serving until the swap
+// and then drains in the background, so in-flight requests are never cut.
+// The call is synchronous: a 200 means the model is ready.
+func (s *Server) loadModel(w http.ResponseWriter, r *http.Request, rid, name string) {
+	var req api.LoadModelRequest
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeBodyError(w, rid, err)
+		return
+	}
+	if req.InputDim < 1 {
+		writeAPIError(w, rid, http.StatusBadRequest, api.CodeInvalidArgument,
+			"input_dim is required (the voxel edge length the checkpoint was trained with)")
+		return
+	}
+	base := req.BaseChannels
+	if base < 1 {
+		base = 4
+	}
+	cfg := ModelConfig{
+		Name: name,
+		Topology: nn.TopologyConfig{
+			InputDim:      req.InputDim,
+			InputChannels: req.InputChannels,
+			BaseChannels:  base,
+			Seed:          1, // any fixed seed: the checkpoint overrides initialization
+		},
+		CheckpointPath:    req.CheckpointPath,
+		Replicas:          req.Replicas,
+		WorkersPerReplica: req.WorkersPerReplica,
+		MaxBatch:          req.MaxBatch,
+		MaxDelay:          time.Duration(req.MaxDelayMs * float64(time.Millisecond)),
+	}
+	if _, err := s.reg.Load(cfg); err != nil {
+		switch {
+		case errors.Is(err, ErrClosed):
+			writeAPIError(w, rid, http.StatusServiceUnavailable, api.CodeUnavailable, err.Error())
+		default:
+			// A bad topology or unreadable checkpoint is the caller's
+			// input; the previous instance (if any) is still serving.
+			writeAPIError(w, rid, http.StatusBadRequest, api.CodeInvalidArgument, err.Error())
+		}
+		return
+	}
+	info, ok := s.reg.InfoFor(name)
+	if !ok {
+		// Unloaded between install and status read; report the race as gone.
+		writeAPIError(w, rid, http.StatusNotFound, api.CodeNotFound, "model "+name+" unloaded concurrently")
+		return
+	}
+	writeJSON(w, http.StatusOK, modelStatus(info))
+}
+
+// unloadModel answers DELETE /v1/models/{name}: the entry disappears from
+// the registry immediately, in-flight requests finish on the removed
+// instance, and its replicas drain in the background.
+func (s *Server) unloadModel(w http.ResponseWriter, rid, name string) {
+	if !s.reg.Unload(name) {
+		writeAPIError(w, rid, http.StatusNotFound, api.CodeNotFound, "unknown model "+name)
+		return
+	}
+	writeJSON(w, http.StatusOK, api.UnloadModelResponse{
+		Model: name, Status: "unloading", RequestID: rid,
+	})
+}
+
+// writeLegacyError keeps the v0 error shape — a bare {"error":"msg"}
+// string — on the deprecated route: the alias's contract is frozen, and
+// pre-v1 clients parse exactly this.
+func writeLegacyError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// handleLegacyPredict is the deprecated v0 route: JSON only, model name
+// in the body, v0 error bodies. It rides the same predict core as v1.
+func (s *Server) handleLegacyPredict(w http.ResponseWriter, r *http.Request) {
+	rid := requestID(w, r)
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", `</v1/models>; rel="successor-version"`)
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		writeLegacyError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req api.PredictRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding request: "+err.Error())
+		writeLegacyError(w, http.StatusBadRequest, "decoding request: "+err.Error())
 		return
 	}
-	m, ok := s.reg.Get(req.Model)
+	name := req.Model
+	if name == "" {
+		name = DefaultModel
+	}
+	m, ok := s.reg.Get(name)
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown model "+req.Model)
+		if info, exists := s.reg.InfoFor(name); exists {
+			msg := fmt.Sprintf("model %s is %s", name, info.State)
+			if info.Err != nil {
+				msg += ": " + info.Err.Error()
+			}
+			writeLegacyError(w, http.StatusServiceUnavailable, msg)
+			return
+		}
+		writeLegacyError(w, http.StatusNotFound, "unknown model "+name)
 		return
 	}
 	pred, err := m.Predict(req.Voxels)
 	if err != nil {
 		switch {
 		case errors.Is(err, ErrClosed):
-			// The model was hot-swapped or the server is draining; the
-			// client should retry (and will resolve the new instance).
-			writeError(w, http.StatusServiceUnavailable, err.Error())
+			writeLegacyError(w, http.StatusServiceUnavailable, err.Error())
 		case errors.Is(err, ErrBadRequest):
-			writeError(w, http.StatusBadRequest, err.Error())
+			writeLegacyError(w, http.StatusBadRequest, err.Error())
 		default:
-			writeError(w, http.StatusInternalServerError, err.Error())
+			writeLegacyError(w, http.StatusInternalServerError, err.Error())
 		}
 		return
 	}
-	writeJSON(w, http.StatusOK, PredictResponse{
+	writeJSON(w, http.StatusOK, api.PredictResponse{
 		Model:      m.Name(),
-		Params:     toPredicted(pred.Params),
+		Params:     toParams(pred.Params),
 		Normalized: pred.Normalized,
 		BatchSize:  pred.BatchSize,
 		LatencyMs:  float64(pred.Latency) / 1e6,
+		RequestID:  rid,
 	})
 }
 
+// handleHealthz is the readiness probe: 200 only when every configured
+// model is ready (checkpoint loaded, replicas warmed), 503 otherwise —
+// including an empty registry, so a daemon that loads asynchronously
+// reports unready from its very first poll.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{
+	rid := requestID(w, r)
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, rid, http.MethodGet)
+		return
+	}
+	infos := s.reg.Info()
+	resp := api.HealthResponse{
 		Status:  "ok",
-		Models:  s.reg.Names(),
+		Models:  make([]api.ModelHealth, 0, len(infos)),
 		UptimeS: time.Since(s.start).Seconds(),
-	})
+	}
+	for _, info := range infos {
+		mh := api.ModelHealth{Name: info.Name, State: string(info.State)}
+		if info.Err != nil {
+			mh.Error = info.Err.Error()
+		}
+		resp.Models = append(resp.Models, mh)
+	}
+	// The 200/503 decision is the registry's readiness rule, not a second
+	// copy of it here; the per-model list above is the diagnosis.
+	code := http.StatusOK
+	if !s.reg.Ready() {
+		resp.Status = "unavailable"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	resp := StatsResponse{
-		UptimeS: time.Since(s.start).Seconds(),
-		Models:  make(map[string]ModelStats),
+	rid := requestID(w, r)
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, rid, http.MethodGet)
+		return
 	}
-	for _, name := range s.reg.Names() {
-		if m, ok := s.reg.Get(name); ok {
-			resp.Models[name] = ModelStats{Stats: m.Stats(), Replicas: m.Replicas()}
+	resp := api.StatsResponse{
+		UptimeS: time.Since(s.start).Seconds(),
+		Models:  make(map[string]api.ModelStats),
+	}
+	for _, info := range s.reg.Info() {
+		if info.Model != nil {
+			resp.Models[info.Name] = api.ModelStats{
+				Stats:    info.Model.Stats(),
+				Replicas: info.Model.Replicas(),
+			}
 		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
-func toPredicted(p cosmo.Params) PredictedParams {
-	return PredictedParams{OmegaM: p.OmegaM, Sigma8: p.Sigma8, NS: p.NS}
+// modelStatus converts a registry snapshot into the v1 DTO.
+func modelStatus(info ModelInfo) api.ModelStatus {
+	ms := api.ModelStatus{
+		Name:  info.Name,
+		State: string(info.State),
+	}
+	if info.Err != nil {
+		ms.Error = info.Err.Error()
+	}
+	if info.Model != nil {
+		ms.InputShape = []int(info.Model.InputShape())
+		ms.Replicas = info.Model.Replicas()
+		ms.WorkersPerReplica = info.Config.WorkersPerReplica
+		ms.MaxBatch = info.Config.MaxBatch
+		ms.MaxDelayMs = float64(info.Config.MaxDelay) / 1e6
+		ms.CheckpointPath = info.Config.CheckpointPath
+		st := info.Model.Stats()
+		ms.Stats = &st
+	}
+	return ms
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
+func toParams(p cosmo.Params) api.Params {
+	return api.Params{OmegaM: p.OmegaM, Sigma8: p.Sigma8, NS: p.NS}
 }

@@ -1,0 +1,305 @@
+// Package wire implements the v1 serving API's binary tensor codec — the
+// application/x-cosmoflow-tensor content type. A paper-size 128³ float32
+// volume JSON-encodes to tens of MB and costs a full float-to-decimal
+// round-trip per voxel; the binary frame carries the same volume as an
+// 8-byte header, the dims, and a raw little-endian payload, so the serving
+// hot path moves bytes instead of parsing text.
+//
+// Frame layout (all multi-byte fields little-endian):
+//
+//	offset  size       field
+//	0       4          magic "CFT1"
+//	4       1          format version (1)
+//	5       1          dtype (1 = float32, 2 = float64)
+//	6       2          ndims (uint16, 1..MaxDims)
+//	8       4*ndims    dims (uint32 each, all > 0)
+//	...     n*size     payload, row-major, little-endian
+//
+// A frame is self-delimiting: the header fixes the payload length exactly,
+// and decoding rejects trailing bytes, so a frame is also a valid HTTP
+// body with a known Content-Length.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Content types negotiated by the v1 serving API.
+const (
+	// ContentTypeTensor is the binary tensor frame this package encodes.
+	ContentTypeTensor = "application/x-cosmoflow-tensor"
+	// ContentTypeJSON is the legacy/interop encoding.
+	ContentTypeJSON = "application/json"
+)
+
+// Version is the frame format version this package reads and writes.
+const Version = 1
+
+// MaxDims bounds ndims; volumes are at most [N C D H W]-shaped, so 8
+// leaves headroom without admitting absurd headers.
+const MaxDims = 8
+
+// magic identifies a tensor frame ("CFT1": CosmoFlow Tensor v1 family).
+var magic = [4]byte{'C', 'F', 'T', '1'}
+
+// DType identifies the payload element type.
+type DType uint8
+
+// Supported payload element types.
+const (
+	Float32 DType = 1
+	Float64 DType = 2
+)
+
+// Size returns the encoded bytes per element, or 0 for an invalid DType.
+func (d DType) Size() int {
+	switch d {
+	case Float32:
+		return 4
+	case Float64:
+		return 8
+	}
+	return 0
+}
+
+// String names the dtype for error messages.
+func (d DType) String() string {
+	switch d {
+	case Float32:
+		return "float32"
+	case Float64:
+		return "float64"
+	}
+	return fmt.Sprintf("dtype(%d)", uint8(d))
+}
+
+// ErrFormat marks a malformed frame: bad magic, unknown version or dtype,
+// out-of-range dims, a truncated payload, or trailing bytes. Servers map
+// it to 400.
+var ErrFormat = errors.New("wire: malformed tensor frame")
+
+// ErrTooLarge marks a header whose payload would exceed the decoder's byte
+// budget. Servers map it to 413.
+var ErrTooLarge = errors.New("wire: tensor exceeds size limit")
+
+// Tensor is one decoded (or to-be-encoded) frame. Exactly one of F32/F64
+// is non-nil, matching DType, with NumElements() values.
+type Tensor struct {
+	DType DType
+	Dims  []int
+	F32   []float32
+	F64   []float64
+}
+
+// FromFloat32 wraps dims and data (not copied) as a float32 tensor.
+// len(data) must equal the product of dims, which must be valid.
+func FromFloat32(dims []int, data []float32) (*Tensor, error) {
+	if err := checkDims(dims, len(data)); err != nil {
+		return nil, err
+	}
+	return &Tensor{DType: Float32, Dims: dims, F32: data}, nil
+}
+
+// FromFloat64 wraps dims and data (not copied) as a float64 tensor.
+func FromFloat64(dims []int, data []float64) (*Tensor, error) {
+	if err := checkDims(dims, len(data)); err != nil {
+		return nil, err
+	}
+	return &Tensor{DType: Float64, Dims: dims, F64: data}, nil
+}
+
+func checkDims(dims []int, n int) error {
+	if len(dims) < 1 || len(dims) > MaxDims {
+		return fmt.Errorf("%w: %d dims (want 1..%d)", ErrFormat, len(dims), MaxDims)
+	}
+	elems := 1
+	for _, d := range dims {
+		if d < 1 || d > math.MaxUint32 {
+			return fmt.Errorf("%w: dim %d out of range", ErrFormat, d)
+		}
+		if elems > math.MaxInt/d {
+			return fmt.Errorf("%w: dims %v overflow", ErrFormat, dims)
+		}
+		elems *= d
+	}
+	if elems != n {
+		return fmt.Errorf("%w: dims %v imply %d elements, data has %d", ErrFormat, dims, elems, n)
+	}
+	return nil
+}
+
+// NumElements returns the product of Dims.
+func (t *Tensor) NumElements() int {
+	n := 1
+	for _, d := range t.Dims {
+		n *= d
+	}
+	return n
+}
+
+// EncodedSize returns the exact frame length WriteTo will produce.
+func (t *Tensor) EncodedSize() int {
+	return 8 + 4*len(t.Dims) + t.DType.Size()*t.NumElements()
+}
+
+// chunkElems sizes the encode/decode staging buffer: 8 KB of float64s, so
+// conversion runs hot in L1 without per-element writer calls.
+const chunkElems = 1024
+
+// WriteTo encodes the frame to w, implementing io.WriterTo. The tensor
+// must have been built by FromFloat32/FromFloat64 or decoded by ReadTensor
+// (i.e. dims valid and payload length matching).
+func (t *Tensor) WriteTo(w io.Writer) (int64, error) {
+	var hdr [8 + 4*MaxDims]byte
+	copy(hdr[:4], magic[:])
+	hdr[4] = Version
+	hdr[5] = uint8(t.DType)
+	binary.LittleEndian.PutUint16(hdr[6:8], uint16(len(t.Dims)))
+	for i, d := range t.Dims {
+		binary.LittleEndian.PutUint32(hdr[8+4*i:], uint32(d))
+	}
+	n := 8 + 4*len(t.Dims)
+	written, err := writeFull(w, hdr[:n])
+	if err != nil {
+		return written, err
+	}
+	var buf [8 * chunkElems]byte
+	switch t.DType {
+	case Float32:
+		for lo := 0; lo < len(t.F32); lo += chunkElems {
+			hi := min(lo+chunkElems, len(t.F32))
+			for i, v := range t.F32[lo:hi] {
+				binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+			}
+			m, err := writeFull(w, buf[:4*(hi-lo)])
+			written += m
+			if err != nil {
+				return written, err
+			}
+		}
+	case Float64:
+		for lo := 0; lo < len(t.F64); lo += chunkElems {
+			hi := min(lo+chunkElems, len(t.F64))
+			for i, v := range t.F64[lo:hi] {
+				binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+			}
+			m, err := writeFull(w, buf[:8*(hi-lo)])
+			written += m
+			if err != nil {
+				return written, err
+			}
+		}
+	default:
+		return written, fmt.Errorf("%w: %v", ErrFormat, t.DType)
+	}
+	return written, nil
+}
+
+func writeFull(w io.Writer, b []byte) (int64, error) {
+	n, err := w.Write(b)
+	return int64(n), err
+}
+
+// ReadTensor decodes one frame from r, rejecting anything malformed and —
+// because a frame is self-delimiting — any trailing bytes after the
+// payload. maxBytes bounds the accepted frame size (header included);
+// 0 or negative means no limit beyond the header's own sanity checks.
+// Read failures from r (including http.MaxBytesError) pass through
+// wrapped, so callers can distinguish transport limits from format
+// errors via errors.As.
+func ReadTensor(r io.Reader, maxBytes int64) (*Tensor, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, readErr("header", err)
+	}
+	if [4]byte(hdr[:4]) != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrFormat, hdr[:4])
+	}
+	if hdr[4] != Version {
+		return nil, fmt.Errorf("%w: unsupported version %d (have %d)", ErrFormat, hdr[4], Version)
+	}
+	dtype := DType(hdr[5])
+	if dtype.Size() == 0 {
+		return nil, fmt.Errorf("%w: unknown dtype %d", ErrFormat, hdr[5])
+	}
+	ndims := int(binary.LittleEndian.Uint16(hdr[6:8]))
+	if ndims < 1 || ndims > MaxDims {
+		return nil, fmt.Errorf("%w: %d dims (want 1..%d)", ErrFormat, ndims, MaxDims)
+	}
+	var dimBuf [4 * MaxDims]byte
+	if _, err := io.ReadFull(r, dimBuf[:4*ndims]); err != nil {
+		return nil, readErr("dims", err)
+	}
+	dims := make([]int, ndims)
+	elems := uint64(1)
+	for i := range dims {
+		d := binary.LittleEndian.Uint32(dimBuf[4*i:])
+		if d == 0 {
+			return nil, fmt.Errorf("%w: zero dim at index %d", ErrFormat, i)
+		}
+		dims[i] = int(d)
+		// Guard before multiplying: 8 uint32 dims can reach 2^256, far past
+		// uint64, so the product must stay bounded at every step.
+		if elems > math.MaxInt64/8/uint64(d) {
+			return nil, fmt.Errorf("%w: dims %v overflow", ErrTooLarge, dims[:i+1])
+		}
+		elems *= uint64(d)
+	}
+	payload := int64(elems) * int64(dtype.Size())
+	if maxBytes > 0 && int64(8+4*ndims)+payload > maxBytes {
+		return nil, fmt.Errorf("%w: %d-byte frame exceeds %d-byte limit",
+			ErrTooLarge, int64(8+4*ndims)+payload, maxBytes)
+	}
+	t := &Tensor{DType: dtype, Dims: dims}
+	var buf [8 * chunkElems]byte
+	switch dtype {
+	case Float32:
+		t.F32 = make([]float32, elems)
+		for lo := 0; lo < len(t.F32); lo += chunkElems {
+			hi := min(lo+chunkElems, len(t.F32))
+			if _, err := io.ReadFull(r, buf[:4*(hi-lo)]); err != nil {
+				return nil, readErr("payload", err)
+			}
+			for i := range t.F32[lo:hi] {
+				t.F32[lo+i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+			}
+		}
+	case Float64:
+		t.F64 = make([]float64, elems)
+		for lo := 0; lo < len(t.F64); lo += chunkElems {
+			hi := min(lo+chunkElems, len(t.F64))
+			if _, err := io.ReadFull(r, buf[:8*(hi-lo)]); err != nil {
+				return nil, readErr("payload", err)
+			}
+			for i := range t.F64[lo:hi] {
+				t.F64[lo+i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+			}
+		}
+	}
+	// Self-delimiting frames admit no trailing bytes: a longer body is a
+	// framing bug on the sender, not extra data to ignore.
+	var one [1]byte
+	switch _, err := io.ReadFull(r, one[:]); err {
+	case io.EOF:
+		return t, nil
+	case nil:
+		return nil, fmt.Errorf("%w: trailing bytes after payload", ErrFormat)
+	default:
+		return nil, readErr("trailer", err)
+	}
+}
+
+// readErr wraps a transport failure mid-frame. A clean EOF inside the
+// frame is a truncation (ErrFormat); other errors (connection drops,
+// body-size limits like http.MaxBytesError) stay unwrapped underneath so
+// errors.As still reaches them.
+func readErr(section string, err error) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return fmt.Errorf("%w: truncated %s", ErrFormat, section)
+	}
+	return fmt.Errorf("wire: reading %s: %w", section, err)
+}

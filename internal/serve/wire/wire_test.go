@@ -1,0 +1,210 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randTensor builds a random tensor with 1..MaxDims dims, both dtypes, and
+// payloads that include the full float bit-pattern space (NaNs, infs,
+// denormals), so round-tripping is checked bit-wise, not value-wise.
+func randTensor(rng *rand.Rand) *Tensor {
+	ndims := 1 + rng.Intn(MaxDims)
+	dims := make([]int, ndims)
+	elems := 1
+	for i := range dims {
+		dims[i] = 1 + rng.Intn(5)
+		elems *= dims[i]
+	}
+	if rng.Intn(2) == 0 {
+		data := make([]float32, elems)
+		for i := range data {
+			data[i] = math.Float32frombits(rng.Uint32())
+		}
+		t, err := FromFloat32(dims, data)
+		if err != nil {
+			panic(err)
+		}
+		return t
+	}
+	data := make([]float64, elems)
+	for i := range data {
+		data[i] = math.Float64frombits(rng.Uint64())
+	}
+	t, err := FromFloat64(dims, data)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// TestRoundTripProperty encodes and decodes random tensors across all dims
+// counts and both dtypes, asserting bit-exact payloads, exact dims, and
+// that EncodedSize matches the actual frame length.
+func TestRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 500; trial++ {
+		want := randTensor(rng)
+		var buf bytes.Buffer
+		n, err := want.WriteTo(&buf)
+		if err != nil {
+			t.Fatalf("trial %d: encode: %v", trial, err)
+		}
+		if int(n) != buf.Len() || buf.Len() != want.EncodedSize() {
+			t.Fatalf("trial %d: wrote %d bytes, buffer %d, EncodedSize %d",
+				trial, n, buf.Len(), want.EncodedSize())
+		}
+		got, err := ReadTensor(&buf, 0)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if got.DType != want.DType {
+			t.Fatalf("trial %d: dtype %v != %v", trial, got.DType, want.DType)
+		}
+		if len(got.Dims) != len(want.Dims) {
+			t.Fatalf("trial %d: dims %v != %v", trial, got.Dims, want.Dims)
+		}
+		for i := range got.Dims {
+			if got.Dims[i] != want.Dims[i] {
+				t.Fatalf("trial %d: dims %v != %v", trial, got.Dims, want.Dims)
+			}
+		}
+		switch want.DType {
+		case Float32:
+			for i := range want.F32 {
+				if math.Float32bits(got.F32[i]) != math.Float32bits(want.F32[i]) {
+					t.Fatalf("trial %d: float32 elem %d: %x != %x",
+						trial, i, math.Float32bits(got.F32[i]), math.Float32bits(want.F32[i]))
+				}
+			}
+		case Float64:
+			for i := range want.F64 {
+				if math.Float64bits(got.F64[i]) != math.Float64bits(want.F64[i]) {
+					t.Fatalf("trial %d: float64 elem %d: %x != %x",
+						trial, i, math.Float64bits(got.F64[i]), math.Float64bits(want.F64[i]))
+				}
+			}
+		}
+	}
+}
+
+// validFrame returns an encoded 1×2×3 float32 frame for mutation tests.
+func validFrame(t *testing.T) []byte {
+	t.Helper()
+	tensor, err := FromFloat32([]int{1, 2, 3}, []float32{1, 2, 3, 4, 5, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tensor.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestMalformedHeaders rejects every class of corrupt frame with ErrFormat
+// (or ErrTooLarge for size blowups), never a panic or a silent success.
+func TestMalformedHeaders(t *testing.T) {
+	base := validFrame(t)
+	mutate := func(f func(b []byte) []byte) []byte {
+		b := append([]byte(nil), base...)
+		return f(b)
+	}
+	overflow := make([]byte, 8+4*8)
+	copy(overflow, base[:8])
+	overflow[6] = 8 // ndims = 8
+	for i := 0; i < 8; i++ {
+		binary.LittleEndian.PutUint32(overflow[8+4*i:], math.MaxUint32)
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrFormat},
+		{"truncated magic", base[:2], ErrFormat},
+		{"bad magic", mutate(func(b []byte) []byte { b[0] = 'X'; return b }), ErrFormat},
+		{"bad version", mutate(func(b []byte) []byte { b[4] = 99; return b }), ErrFormat},
+		{"bad dtype", mutate(func(b []byte) []byte { b[5] = 7; return b }), ErrFormat},
+		{"zero ndims", mutate(func(b []byte) []byte { b[6], b[7] = 0, 0; return b }), ErrFormat},
+		{"huge ndims", mutate(func(b []byte) []byte { b[6], b[7] = 0xff, 0xff; return b }), ErrFormat},
+		{"zero dim", mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[8:], 0)
+			return b
+		}), ErrFormat},
+		{"dim product overflow", overflow, ErrTooLarge},
+		{"truncated dims", base[:10], ErrFormat},
+		{"truncated payload", base[:len(base)-3], ErrFormat},
+		{"trailing bytes", append(append([]byte(nil), base...), 0xAB), ErrFormat},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ReadTensor(bytes.NewReader(tc.data), 0)
+			if err == nil {
+				t.Fatal("decode succeeded on malformed frame")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("err = %v, want %v", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestMaxBytes enforces the decoder's byte budget from the header alone —
+// an oversized frame is rejected before any payload allocation.
+func TestMaxBytes(t *testing.T) {
+	frame := validFrame(t)
+	if _, err := ReadTensor(bytes.NewReader(frame), int64(len(frame))); err != nil {
+		t.Fatalf("frame at exactly the limit rejected: %v", err)
+	}
+	_, err := ReadTensor(bytes.NewReader(frame), int64(len(frame))-1)
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("frame over the limit: err = %v, want ErrTooLarge", err)
+	}
+	// The header is read before the limit applies, so even a 1-byte budget
+	// fails with ErrTooLarge (clean rejection), not a read error.
+	if _, err := ReadTensor(bytes.NewReader(frame), 1); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("tiny budget: err = %v, want ErrTooLarge", err)
+	}
+}
+
+// TestTransportErrorsPassThrough keeps non-EOF read failures reachable via
+// errors.As/Is — the server maps http.MaxBytesError to 413 through this.
+func TestTransportErrorsPassThrough(t *testing.T) {
+	frame := validFrame(t)
+	custom := errors.New("boom")
+	r := io.MultiReader(bytes.NewReader(frame[:12]), errReader{custom})
+	_, err := ReadTensor(r, 0)
+	if !errors.Is(err, custom) {
+		t.Fatalf("err = %v, want wrapped %v", err, custom)
+	}
+	if errors.Is(err, ErrFormat) {
+		t.Fatalf("transport error misclassified as format error: %v", err)
+	}
+}
+
+type errReader struct{ err error }
+
+func (r errReader) Read([]byte) (int, error) { return 0, r.err }
+
+// TestFromConstructorsValidate rejects dim/data mismatches up front.
+func TestFromConstructorsValidate(t *testing.T) {
+	if _, err := FromFloat32([]int{2, 2}, []float32{1, 2, 3}); !errors.Is(err, ErrFormat) {
+		t.Fatalf("mismatched data length: err = %v", err)
+	}
+	if _, err := FromFloat32(nil, nil); !errors.Is(err, ErrFormat) {
+		t.Fatalf("no dims: err = %v", err)
+	}
+	if _, err := FromFloat32([]int{0}, nil); !errors.Is(err, ErrFormat) {
+		t.Fatalf("zero dim: err = %v", err)
+	}
+	if _, err := FromFloat64(make([]int, MaxDims+1), nil); !errors.Is(err, ErrFormat) {
+		t.Fatalf("too many dims: err = %v", err)
+	}
+}
