@@ -5,11 +5,11 @@
 
 GO ?= go
 
-.PHONY: check ci fmt vet build test race bench bench-smoke serve-smoke api-smoke
+.PHONY: check ci fmt vet build test race bench bench-smoke serve-smoke api-smoke dist-smoke
 
 check: fmt vet build test
 
-ci: fmt vet build test race bench-smoke serve-smoke api-smoke
+ci: fmt vet build test race bench-smoke serve-smoke api-smoke dist-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -25,10 +25,11 @@ test:
 	$(GO) test ./...
 
 # Race-detect the concurrency-bearing packages: the serving subsystem
-# (replica pools, micro-batcher) and the batched kernels (shared worker
-# pools, recycled buffers).
+# (replica pools, micro-batcher), the batched kernels (shared worker
+# pools, recycled buffers), and the communication layer (helper-team
+# collectives, TCP reader/heartbeat goroutines).
 race:
-	$(GO) test -race ./internal/serve ./internal/nn
+	$(GO) test -race ./internal/serve ./internal/nn ./internal/comm ./internal/dist
 
 # Full benchmark sweep (minutes); see EXPERIMENTS.md for the record.
 bench:
@@ -60,3 +61,10 @@ api-smoke:
 	$(GO) build -o /tmp/cosmoflow-serve ./cmd/cosmoflow-serve
 	$(GO) build -o /tmp/cosmoflow-loadgen ./cmd/cosmoflow-loadgen
 	sh scripts/api_smoke.sh
+
+# Distributed training smoke: a 4-process TCP world must reproduce the
+# in-process run's losses bit-for-bit, and a mid-run world kill must
+# relaunch and resume from the checkpoint (scripts/dist_smoke.sh).
+dist-smoke:
+	$(GO) build -o /tmp/cosmoflow-train ./cmd/cosmoflow-train
+	sh scripts/dist_smoke.sh

@@ -3,10 +3,20 @@
 // produced by cosmoflow-datagen or on generated-on-the-fly synthetic data
 // (the paper's "dummy data" mode, §V-C1).
 //
+// Ranks can be in-process goroutines (the default) or separate OS
+// processes joined over TCP (internal/dist): -dist runs this process as
+// one rank of a -world N world meeting at -rendezvous, and -launch N
+// forks N local worker processes, supervises them, and — when -ckpt is
+// set — relaunches the whole world from the latest checkpoint if a rank
+// dies. Both modes are bit-identical to the in-process run at the same
+// seed and world size.
+//
 // Usage:
 //
 //	cosmoflow-train -data data/ -ranks 4 -epochs 8 -profile
 //	cosmoflow-train -synthetic 64 -dim 16 -ranks 8 -epochs 4
+//	cosmoflow-train -synthetic 64 -launch 4 -epochs 4 -ckpt /tmp/cf.ckpt
+//	cosmoflow-train -synthetic 64 -dist -world 4 -rank 0 -rendezvous :29500
 package main
 
 import (
@@ -14,10 +24,14 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
+	"os"
+	"os/exec"
 	"time"
 
 	"repro/internal/comm"
 	"repro/internal/cosmo"
+	"repro/internal/dist"
 	"repro/internal/nn"
 	"repro/internal/optim"
 	"repro/internal/tfrecord"
@@ -42,7 +56,18 @@ func main() {
 	ckpt := flag.String("ckpt", "", "checkpoint file to write each epoch (and to read with -resume)")
 	resume := flag.String("resume", "", "checkpoint file to resume from")
 	overlap := flag.Bool("overlap", false, "overlap gradient aggregation with backprop (§III-D)")
+	distMode := flag.Bool("dist", false, "run as one rank of a multi-process TCP world")
+	rank := flag.Int("rank", -1, "with -dist: rank to claim (0 hosts the rendezvous; -1 = assigned)")
+	world := flag.Int("world", 0, "with -dist: world size (replaces -ranks)")
+	rendezvous := flag.String("rendezvous", "127.0.0.1:29500", "with -dist: rendezvous address")
+	launch := flag.Int("launch", 0, "fork N local worker processes and supervise them")
+	maxRestarts := flag.Int("max-restarts", 2, "with -launch and -ckpt: relaunch a failed world up to N times")
+	abortAfter := flag.Int("abort-after", 0, "fault injection: rank 0 aborts after N epochs (dist mode; for tests)")
 	flag.Parse()
+
+	if *launch > 0 {
+		os.Exit(runLauncher(*launch, *ckpt, *maxRestarts))
+	}
 
 	var trainSet, valSet []*cosmo.Sample
 	switch {
@@ -57,6 +82,8 @@ func main() {
 			log.Fatalf("no train-*.tfrecord files in %s", *dataDir)
 		}
 	case *synthetic > 0:
+		// Deterministic in the seed: every process of a distributed world
+		// regenerates the identical dataset locally, no data movement.
 		rng := rand.New(rand.NewSource(*seed))
 		for i := 0; i < *synthetic; i++ {
 			target := [3]float32{rng.Float32(), rng.Float32(), rng.Float32()}
@@ -78,35 +105,85 @@ func main() {
 		log.Fatalf("unknown algorithm %q", *algo)
 	}
 
+	nRanks := *ranks
+	if *distMode {
+		if *world < 1 {
+			log.Fatal("-dist requires -world N")
+		}
+		nRanks = *world
+	}
+
 	cfg := train.Config{
-		Ranks:  *ranks,
+		Ranks:  nRanks,
 		Epochs: *epochs,
 		Topology: nn.TopologyConfig{
 			InputDim:     trainSet[0].Dim,
 			BaseChannels: *base,
 			Seed:         *seed + 1,
 		},
-		Optim:          optim.Config{},
-		Algorithm:      algorithm,
-		Helpers:        *helpers,
-		WorkersPerRank: *workers,
-		Profile:        *profile,
-		Seed:           *seed,
-		CheckpointPath: *ckpt,
-		ResumeFrom:     *resume,
-		OverlapComm:    *overlap,
+		Optim:           optim.Config{},
+		Algorithm:       algorithm,
+		Helpers:         *helpers,
+		WorkersPerRank:  *workers,
+		Profile:         *profile,
+		Seed:            *seed,
+		CheckpointPath:  *ckpt,
+		ResumeFrom:      *resume,
+		OverlapComm:     *overlap,
+		AbortAfterEpoch: *abortAfter,
 	}
 
-	fmt.Printf("CosmoFlow training: %d ranks × batch 1 (global batch %d), %s allreduce, %d helpers\n",
-		*ranks, *ranks, algorithm, *helpers)
-	res, err := train.Run(cfg, trainSet, valSet)
+	if !*distMode {
+		fmt.Printf("CosmoFlow training: %d ranks × batch 1 (global batch %d), %s allreduce, %d helpers\n",
+			nRanks, nRanks, algorithm, *helpers)
+		res, err := train.Run(cfg, trainSet, valSet)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(res)
+		return
+	}
+
+	w, err := dist.Join(dist.Config{
+		Size:       *world,
+		Rank:       *rank,
+		Rendezvous: *rendezvous,
+		Algorithm:  algorithm,
+		Helpers:    *helpers,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	if w.Rank() == 0 {
+		fmt.Printf("CosmoFlow training: %d processes × batch 1 (global batch %d), %s allreduce over TCP, %d helpers\n",
+			*world, *world, algorithm, *helpers)
+	}
+	res, err := train.RunDistributed(cfg, w.Comm(), trainSet, valSet)
+	if err != nil {
+		// Close announces the departure so peers fail fast instead of
+		// waiting out the heartbeat timeout.
+		w.Close()
+		log.Fatalf("rank %d: %v", w.Rank(), err)
+	}
+	if w.Rank() == 0 {
+		report(res)
+		fmt.Printf("rank 0 collective traffic: %.2f MB in %d messages\n",
+			float64(w.BytesSent())/1e6, w.MessagesSent())
+	} else {
+		log.Printf("rank %d finished (%.2f MB sent)", w.Rank(), float64(w.BytesSent())/1e6)
+	}
+	w.Close()
+}
 
+// report prints the per-epoch table and throughput summary (rank 0 only in
+// distributed mode; resumed runs skip the epochs the checkpoint covered).
+func report(res *train.Result) {
 	fmt.Println(res.Net.Summary())
 	fmt.Printf("%6s %12s %12s %10s %12s\n", "epoch", "train loss", "val loss", "time", "samples/s")
 	for _, e := range res.Epochs {
+		if e.Steps == 0 {
+			continue // completed before a resume; not retrained
+		}
 		fmt.Printf("%6d %12.6f %12.6f %10v %12.2f\n",
 			e.Epoch, e.TrainLoss, e.ValLoss, e.Duration.Round(time.Millisecond), e.SamplesSec)
 	}
@@ -119,4 +196,112 @@ func main() {
 		fmt.Println("\ntime breakdown (rank 0, Figure-3 analogue):")
 		fmt.Println(res.Profile)
 	}
+}
+
+// runLauncher is the -launch N convenience mode: fork N local worker
+// processes (rank i hosting the rendezvous at a freshly picked port for
+// i = 0), wait for the world, and — when checkpointing is on — relaunch a
+// failed world from the latest checkpoint, the paper-scale operational
+// loop (die → reschedule → resume) in miniature.
+func runLauncher(n int, ckpt string, maxRestarts int) int {
+	self, err := os.Executable()
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	for attempt := 0; ; attempt++ {
+		addr, err := freePort()
+		if err != nil {
+			log.Print(err)
+			return 1
+		}
+		resume := ""
+		if attempt > 0 {
+			resume = ckpt
+		}
+		log.Printf("launching %d workers (attempt %d, rendezvous %s)", n, attempt+1, addr)
+		cmds := make([]*exec.Cmd, n)
+		for i := 0; i < n; i++ {
+			cmds[i] = exec.Command(self, childArgs(n, i, addr, resume)...)
+			cmds[i].Stdout = os.Stdout
+			cmds[i].Stderr = os.Stderr
+		}
+		failed := false
+		for i, cmd := range cmds {
+			if err := cmd.Start(); err != nil {
+				log.Printf("starting rank %d: %v", i, err)
+				failed = true
+			}
+		}
+		for i, cmd := range cmds {
+			if cmd.Process == nil {
+				continue
+			}
+			if err := cmd.Wait(); err != nil {
+				log.Printf("rank %d exited: %v", i, err)
+				failed = true
+			}
+		}
+		if !failed {
+			return 0
+		}
+		if ckpt == "" {
+			log.Print("world failed; no -ckpt to resume from")
+			return 1
+		}
+		if _, err := os.Stat(ckpt); err != nil {
+			log.Printf("world failed before writing a checkpoint (%v)", err)
+			return 1
+		}
+		if attempt >= maxRestarts {
+			log.Printf("world failed %d times; giving up", attempt+1)
+			return 1
+		}
+		log.Printf("world failed; relaunching from %s", ckpt)
+	}
+}
+
+// childArgs rebuilds this invocation's explicitly set flags for a worker
+// process, replacing the orchestration flags with the worker's identity.
+// Relaunch attempts force -resume and drop -abort-after, so an injected
+// fault fires exactly once.
+func childArgs(world, rank int, rendezvous, resume string) []string {
+	var out []string
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "launch", "max-restarts", "dist", "rank", "world", "rendezvous":
+			return
+		case "resume":
+			if resume != "" {
+				return // overridden below
+			}
+		case "abort-after":
+			if resume != "" {
+				return // injected fault already fired on the first attempt
+			}
+		}
+		out = append(out, "-"+f.Name+"="+f.Value.String())
+	})
+	out = append(out,
+		"-dist",
+		fmt.Sprintf("-world=%d", world),
+		fmt.Sprintf("-rank=%d", rank),
+		"-rendezvous="+rendezvous)
+	if resume != "" {
+		out = append(out, "-resume="+resume)
+	}
+	return out
+}
+
+// freePort reserves an ephemeral localhost port for the rendezvous. The
+// listener closes before the workers start — a small race, acceptable for
+// a single-machine convenience mode.
+func freePort() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
 }

@@ -5,9 +5,14 @@
 // library: a 3D convolutional neural network with the paper's
 // channel-blocked direct-convolution kernels (internal/nn, internal/tensor),
 // the Adam+LARC optimizer with polynomial decay (internal/optim), fully
-// synchronous data-parallel training over an in-process MPI-like world with
+// synchronous data-parallel training over an MPI-like world with
 // ring/recursive-doubling/parameter-server collectives (internal/comm,
-// internal/train), a TFRecord I/O pipeline with bandwidth throttling
+// internal/train) whose point-to-point layer is a pluggable Transport —
+// in-process channel mesh or the multi-process TCP data plane of
+// internal/dist (rank-0 rendezvous, CFT1-framed collectives, heartbeat
+// peer-death detection, and checkpoint-resume fault tolerance behind
+// cosmoflow-train's -dist/-launch modes, bit-identical to the in-process
+// world at the same seed), a TFRecord I/O pipeline with bandwidth throttling
 // (internal/tfrecord, internal/iopipe), a synthetic cosmology data generator
 // built on a pure-Go 3D FFT (internal/cosmo, internal/fft), a calibrated
 // cluster model that regenerates the paper's 8192-node scaling results

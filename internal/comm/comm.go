@@ -1,6 +1,9 @@
 // Package comm provides the data-parallel communication substrate: an
-// in-process "MPI world" of ranks connected by channels, with the gradient
-// collectives the paper's training loop needs (Algorithm 2).
+// "MPI world" of ranks joined point-to-point by a pluggable Transport,
+// with the gradient collectives the paper's training loop needs
+// (Algorithm 2). The in-process transport (NewWorld) wires ranks with
+// tagged channels; internal/dist supplies a TCP transport so the same
+// collectives run unchanged between OS processes (NewWorldWithTransport).
 //
 // It stands in for the Cray PE ML Plugin (§III-D): every rank is a worker
 // (no parameter servers in the default algorithms), collectives are
@@ -62,14 +65,17 @@ const (
 // maxHelpers is the largest usable helper-team count (remaining tags).
 const maxHelpers = MaxTags - 2
 
-// World is a set of n ranks wired all-to-all with tagged FIFO channels.
+// World is a set of n ranks joined by a point-to-point Transport. An
+// in-process world (NewWorld) hosts every rank over a shared channel mesh;
+// a distributed world (NewWorldWithTransport) hosts exactly one local rank
+// whose transport reaches the others across process boundaries.
 type World struct {
-	n         int
-	algorithm Algorithm
-	helpers   int
-	links     [][][]chan []float32 // [src][dst][tag]
-	bytesSent atomic.Int64
-	msgsSent  atomic.Int64
+	n          int
+	algorithm  Algorithm
+	helpers    int
+	transports []Transport // per-rank; nil for ranks not local to this process
+	bytesSent  atomic.Int64
+	msgsSent   atomic.Int64
 }
 
 // Option configures a World.
@@ -102,20 +108,34 @@ func NewWorld(n int, opts ...Option) (*World, error) {
 	for _, o := range opts {
 		o(w)
 	}
-	w.links = make([][][]chan []float32, n)
-	for s := 0; s < n; s++ {
-		w.links[s] = make([][]chan []float32, n)
-		for d := 0; d < n; d++ {
-			if s == d {
-				continue
-			}
-			tags := make([]chan []float32, MaxTags)
-			for t := range tags {
-				tags[t] = make(chan []float32, 4)
-			}
-			w.links[s][d] = tags
-		}
+	links := newChanMesh(n)
+	w.transports = make([]Transport, n)
+	for r := 0; r < n; r++ {
+		w.transports[r] = &chanTransport{rank: r, links: links}
 	}
+	return w, nil
+}
+
+// NewWorldWithTransport builds an n-rank world of which only the given rank
+// is local to this process, communicating through tr. Comm is valid for
+// that rank alone; the remaining ranks live in other processes holding
+// their own worlds over the same wire (see internal/dist).
+func NewWorldWithTransport(n, rank int, tr Transport, opts ...Option) (*World, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("comm: world size %d must be positive", n)
+	}
+	if rank < 0 || rank >= n {
+		return nil, fmt.Errorf("comm: rank %d outside world of size %d", rank, n)
+	}
+	if tr == nil {
+		return nil, fmt.Errorf("comm: nil transport")
+	}
+	w := &World{n: n, algorithm: Ring, helpers: 1}
+	for _, o := range opts {
+		o(w)
+	}
+	w.transports = make([]Transport, n)
+	w.transports[rank] = tr
 	return w, nil
 }
 
@@ -135,15 +155,21 @@ func (w *World) BytesSent() int64 { return w.bytesSent.Load() }
 // MessagesSent returns the cumulative message count.
 func (w *World) MessagesSent() int64 { return w.msgsSent.Load() }
 
-// Comm returns rank r's communicator handle.
+// Comm returns rank r's communicator handle. r must be local to this world
+// (every rank of an in-process world; the single joined rank of a
+// distributed one).
 func (w *World) Comm(r int) *Comm {
 	if r < 0 || r >= w.n {
 		panic(fmt.Sprintf("comm: rank %d outside world of size %d", r, w.n))
 	}
-	return &Comm{world: w, rank: r}
+	if w.transports[r] == nil {
+		panic(fmt.Sprintf("comm: rank %d is not local to this world", r))
+	}
+	return &Comm{world: w, rank: r, tr: w.transports[r]}
 }
 
-// Comms returns communicators for all ranks in order.
+// Comms returns communicators for all ranks in order. Only valid on an
+// in-process world, where every rank is local.
 func (w *World) Comms() []*Comm {
 	out := make([]*Comm, w.n)
 	for i := range out {
@@ -157,6 +183,7 @@ func (w *World) Comms() []*Comm {
 type Comm struct {
 	world *World
 	rank  int
+	tr    Transport
 }
 
 // Rank returns this endpoint's rank.
@@ -165,18 +192,25 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the world size.
 func (c *Comm) Size() int { return c.world.n }
 
-// send transmits a copy of buf to dst on the given tag stream.
+// send transmits buf to dst on the given tag stream. The transport owns
+// copying/serialization, so buf may be reused once send returns. A
+// transport failure panics with *TransportError (see Transport).
 func (c *Comm) send(dst, tag int, buf []float32) {
-	cp := make([]float32, len(buf))
-	copy(cp, buf)
 	c.world.bytesSent.Add(int64(4 * len(buf)))
 	c.world.msgsSent.Add(1)
-	c.world.links[c.rank][dst][tag] <- cp
+	if err := c.tr.Send(dst, tag, buf); err != nil {
+		panic(&TransportError{Rank: c.rank, Peer: dst, Op: "send", Err: err})
+	}
 }
 
-// recv blocks for the next message from src on the given tag stream.
+// recv blocks for the next message from src on the given tag stream. A
+// transport failure panics with *TransportError.
 func (c *Comm) recv(src, tag int) []float32 {
-	return <-c.world.links[src][c.rank][tag]
+	buf, err := c.tr.Recv(src, tag)
+	if err != nil {
+		panic(&TransportError{Rank: c.rank, Peer: src, Op: "recv", Err: err})
+	}
+	return buf
 }
 
 // Barrier blocks until every rank has entered it (dissemination barrier).
@@ -215,10 +249,48 @@ func (c *Comm) Broadcast(buf []float32, root int) {
 	}
 }
 
+// reduceOp is the element-wise combiner threaded through the allreduce
+// algorithms. All ops are associative and commutative, so every algorithm
+// computes the same reduction (sum is subject to float32 rounding order,
+// which each algorithm keeps deterministic for a fixed world size).
+type reduceOp int
+
+const (
+	opSum reduceOp = iota
+	opMax
+)
+
+// combine folds got into dst element-wise under op. A length mismatch is
+// a protocol violation and panics for every op (Axpy enforces it for sum;
+// max must be equally loud — a silently partial reduction would let ranks
+// disagree on the result).
+func combine(op reduceOp, got, dst []float32) {
+	switch op {
+	case opSum:
+		tensor.Axpy(1, got, dst)
+	case opMax:
+		if len(got) != len(dst) {
+			panic(fmt.Sprintf("comm: max-reduce received %d elements, want %d", len(got), len(dst)))
+		}
+		for i, v := range got {
+			if v > dst[i] {
+				dst[i] = v
+			}
+		}
+	}
+}
+
 // AllReduceSum sums buf element-wise across all ranks, leaving the result in
 // every rank's buf. The configured helper-team count splits the buffer into
 // independent chunks whose aggregations progress concurrently.
-func (c *Comm) AllReduceSum(buf []float32) {
+func (c *Comm) AllReduceSum(buf []float32) { c.allReduce(buf, opSum) }
+
+// AllReduceMax leaves the element-wise maximum across all ranks in every
+// rank's buf — the collective behind global gradient-norm clipping and
+// max-style metric sync (e.g. slowest-rank step time).
+func (c *Comm) AllReduceMax(buf []float32) { c.allReduce(buf, opMax) }
+
+func (c *Comm) allReduce(buf []float32, op reduceOp) {
 	n := c.world.n
 	if n == 1 {
 		return
@@ -228,11 +300,13 @@ func (c *Comm) AllReduceSum(buf []float32) {
 		h = 1
 	}
 	if h == 1 {
-		c.allReduceChunk(buf, 0)
+		c.allReduceChunk(buf, 0, op)
 		return
 	}
 	chunk := (len(buf) + h - 1) / h
 	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var helperPanic any
 	for i := 0; i < h; i++ {
 		lo := i * chunk
 		if lo >= len(buf) {
@@ -245,27 +319,41 @@ func (c *Comm) AllReduceSum(buf []float32) {
 		wg.Add(1)
 		go func(seg []float32, tag int) {
 			defer wg.Done()
-			c.allReduceChunk(seg, tag)
+			// Forward a transport failure to the collective's caller
+			// instead of crashing the process from a helper goroutine.
+			defer func() {
+				if r := recover(); r != nil {
+					mu.Lock()
+					if helperPanic == nil {
+						helperPanic = r
+					}
+					mu.Unlock()
+				}
+			}()
+			c.allReduceChunk(seg, tag, op)
 		}(buf[lo:hi], i)
 	}
 	wg.Wait()
+	if helperPanic != nil {
+		panic(helperPanic)
+	}
 }
 
 // allReduceChunk dispatches one contiguous chunk to the configured
 // algorithm on the given tag stream.
-func (c *Comm) allReduceChunk(buf []float32, tag int) {
+func (c *Comm) allReduceChunk(buf []float32, tag int, op reduceOp) {
 	switch c.world.algorithm {
 	case Central:
-		c.allReduceCentral(buf, tag)
+		c.allReduceCentral(buf, tag, op)
 	case RecursiveDoubling:
 		n := c.world.n
 		if n&(n-1) == 0 {
-			c.allReduceRecursiveDoubling(buf, tag)
+			c.allReduceRecursiveDoubling(buf, tag, op)
 			return
 		}
-		c.allReduceRing(buf, tag)
+		c.allReduceRing(buf, tag, op)
 	default:
-		c.allReduceRing(buf, tag)
+		c.allReduceRing(buf, tag, op)
 	}
 }
 
@@ -273,7 +361,7 @@ func (c *Comm) allReduceChunk(buf []float32, tag int) {
 // steps followed by n−1 allgather steps, 2·(n−1)/n of the buffer crossing
 // each link — the "twice the message length" cost the paper uses in its
 // §VI-B bandwidth estimate.
-func (c *Comm) allReduceRing(buf []float32, tag int) {
+func (c *Comm) allReduceRing(buf []float32, tag int, op reduceOp) {
 	n := c.world.n
 	r := c.rank
 	next := (r + 1) % n
@@ -293,7 +381,7 @@ func (c *Comm) allReduceRing(buf []float32, tag int) {
 		c.send(next, tag, buf[slo:shi])
 		rlo, rhi := seg(r - s - 1)
 		got := c.recv(prev, tag)
-		tensor.Axpy(1, got, buf[rlo:rhi])
+		combine(op, got, buf[rlo:rhi])
 	}
 	// Allgather: circulate the completed segments.
 	for s := 0; s < n-1; s++ {
@@ -307,27 +395,28 @@ func (c *Comm) allReduceRing(buf []float32, tag int) {
 
 // allReduceRecursiveDoubling exchanges the full buffer with partners at
 // doubling distances; requires a power-of-two world.
-func (c *Comm) allReduceRecursiveDoubling(buf []float32, tag int) {
+func (c *Comm) allReduceRecursiveDoubling(buf []float32, tag int, op reduceOp) {
 	n := c.world.n
 	for d := 1; d < n; d <<= 1 {
 		partner := c.rank ^ d
-		// Both sides send then receive; channel buffering (cap ≥ 1)
-		// prevents deadlock on the symmetric exchange.
+		// Both sides send then receive; transport buffering (channel cap
+		// ≥ 1 in-process, kernel socket buffers + a reader goroutine over
+		// TCP) prevents deadlock on the symmetric exchange.
 		c.send(partner, tag, buf)
 		got := c.recv(partner, tag)
-		tensor.Axpy(1, got, buf)
+		combine(op, got, buf)
 	}
 }
 
 // allReduceCentral gathers everything at rank 0, which sums and unicasts
 // the result back: the master-based pattern whose algorithmic and
 // socket-level inefficiencies motivated the ML Plugin (§II-C).
-func (c *Comm) allReduceCentral(buf []float32, tag int) {
+func (c *Comm) allReduceCentral(buf []float32, tag int, op reduceOp) {
 	n := c.world.n
 	if c.rank == 0 {
 		for src := 1; src < n; src++ {
 			got := c.recv(src, tag)
-			tensor.Axpy(1, got, buf)
+			combine(op, got, buf)
 		}
 		for dst := 1; dst < n; dst++ {
 			c.send(dst, tag, buf)

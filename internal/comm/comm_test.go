@@ -71,6 +71,71 @@ func TestAllReduceSumAllAlgorithms(t *testing.T) {
 	}
 }
 
+// testAllReduceMax checks the element-wise max collective against a
+// sequential reduction; max is exact in float32, so comparison is strict.
+func testAllReduceMax(t *testing.T, algo Algorithm, n, helpers, size int) {
+	t.Helper()
+	w, err := NewWorld(n, WithAlgorithm(algo), WithHelpers(helpers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(int64(n*7919 + size)))
+	inputs := make([][]float32, n)
+	bufs := make([][]float32, n)
+	for r := range inputs {
+		inputs[r] = make([]float32, size)
+		for i := range inputs[r] {
+			inputs[r][i] = float32(rng.NormFloat64())
+		}
+		bufs[r] = append([]float32(nil), inputs[r]...)
+	}
+	runWorld(t, w, func(c *Comm) { c.AllReduceMax(bufs[c.Rank()]) })
+	for i := 0; i < size; i++ {
+		want := inputs[0][i]
+		for r := 1; r < n; r++ {
+			if inputs[r][i] > want {
+				want = inputs[r][i]
+			}
+		}
+		for r := 0; r < n; r++ {
+			if bufs[r][i] != want {
+				t.Fatalf("algo=%v n=%d helpers=%d: rank %d max[%d] = %v, want %v",
+					algo, n, helpers, r, i, bufs[r][i], want)
+			}
+		}
+	}
+}
+
+func TestAllReduceMaxAllAlgorithms(t *testing.T) {
+	for _, algo := range []Algorithm{Ring, RecursiveDoubling, Central} {
+		for _, n := range []int{1, 2, 3, 4, 8} {
+			for _, helpers := range []int{1, 4} {
+				testAllReduceMax(t, algo, n, helpers, 37)
+			}
+		}
+	}
+}
+
+// TestAllReduceMaxGradClip is the intended use: every rank computes its
+// local gradient-norm proxy, the collective finds the global max, and all
+// ranks agree on the same clip decision.
+func TestAllReduceMaxGradClip(t *testing.T) {
+	n := 4
+	w, _ := NewWorld(n)
+	norms := []float32{0.5, 3.25, 1.0, 2.0}
+	got := make([]float32, n)
+	runWorld(t, w, func(c *Comm) {
+		buf := []float32{norms[c.Rank()]}
+		c.AllReduceMax(buf)
+		got[c.Rank()] = buf[0]
+	})
+	for r := range got {
+		if got[r] != 3.25 {
+			t.Fatalf("rank %d global max norm = %v, want 3.25", r, got[r])
+		}
+	}
+}
+
 func TestAllReduceLargeBuffer(t *testing.T) {
 	testAllReduce(t, Ring, 8, 4, 100_000)
 }

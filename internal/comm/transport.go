@@ -1,0 +1,83 @@
+package comm
+
+import "fmt"
+
+// Transport is the point-to-point substrate a Comm runs its collectives
+// over: MaxTags independent in-order message streams to and from every
+// peer rank. The channel mesh built by NewWorld is the in-process
+// implementation; internal/dist provides the cross-process TCP one.
+//
+// Ownership contract: Send only reads buf during the call (implementations
+// copy or serialize before returning), and the slice Recv returns is owned
+// by the caller. Both block — Send until the message is accepted for
+// delivery, Recv until a message arrives or the transport fails.
+type Transport interface {
+	// Send delivers buf to rank dst on the given tag stream (0 ≤ tag <
+	// MaxTags). Messages between one (src, dst, tag) triple arrive in
+	// send order.
+	Send(dst, tag int, buf []float32) error
+	// Recv blocks for the next message from rank src on the given tag
+	// stream.
+	Recv(src, tag int) ([]float32, error)
+	// Close releases transport resources. Collectives must be quiescent:
+	// the caller is responsible for a final Barrier (or equivalent)
+	// before tearing the world down.
+	Close() error
+}
+
+// TransportError is the panic value a Comm raises when its transport
+// fails mid-collective (peer death, connection loss). Collectives keep
+// their error-free signatures — an in-process world cannot fail — and
+// distributed callers recover the panic at the rank's top frame and turn
+// it into an ordinary error (see train.RunDistributed).
+type TransportError struct {
+	Rank int    // the rank whose collective failed
+	Peer int    // the peer being communicated with
+	Op   string // "send" or "recv"
+	Err  error
+}
+
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("comm: rank %d %s involving rank %d: %v", e.Rank, e.Op, e.Peer, e.Err)
+}
+
+func (e *TransportError) Unwrap() error { return e.Err }
+
+// chanTransport is one rank's view of the in-process channel mesh: buffered
+// FIFO channels shared by every rank of the world. It never fails.
+type chanTransport struct {
+	rank  int
+	links [][][]chan []float32 // [src][dst][tag], shared across ranks
+}
+
+// newChanMesh builds the all-to-all tagged channel mesh for n ranks.
+func newChanMesh(n int) [][][]chan []float32 {
+	links := make([][][]chan []float32, n)
+	for s := 0; s < n; s++ {
+		links[s] = make([][]chan []float32, n)
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			tags := make([]chan []float32, MaxTags)
+			for t := range tags {
+				tags[t] = make(chan []float32, 4)
+			}
+			links[s][d] = tags
+		}
+	}
+	return links
+}
+
+func (t *chanTransport) Send(dst, tag int, buf []float32) error {
+	cp := make([]float32, len(buf))
+	copy(cp, buf)
+	t.links[t.rank][dst][tag] <- cp
+	return nil
+}
+
+func (t *chanTransport) Recv(src, tag int) ([]float32, error) {
+	return <-t.links[src][t.rank][tag], nil
+}
+
+func (t *chanTransport) Close() error { return nil }

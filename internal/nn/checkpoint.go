@@ -23,6 +23,18 @@ const (
 	checkpointVersion = 1
 )
 
+// CheckpointSize returns the exact byte length SaveCheckpoint produces
+// for this network. It lives beside the format definition so callers that
+// append their own sections after the checkpoint (train's optimizer
+// state) can locate them without re-deriving the layout.
+func (n *Network) CheckpointSize() int {
+	size := 12 // magic + version + count
+	for _, p := range n.Params() {
+		size += 4 + len(p.Name) + 4 + 4*len(p.Value.Shape()) + 4*p.NumElements()
+	}
+	return size + 4 // CRC
+}
+
 // SaveCheckpoint writes every parameter of the network to w.
 func (n *Network) SaveCheckpoint(w io.Writer) error {
 	crc := crc32.New(crc32.MakeTable(crc32.Castagnoli))
@@ -76,14 +88,26 @@ func (n *Network) SaveCheckpoint(w io.Writer) error {
 }
 
 // LoadCheckpoint restores parameters saved by SaveCheckpoint. The network
-// topology must match (same parameter names and shapes in order).
+// topology must match (same parameter names and shapes in order). Only the
+// checkpoint's own bytes are hashed, so a checkpoint followed by trailing
+// data (train's optimizer-state section) loads cleanly. The internal
+// buffering may still read ahead of the checkpoint's end, though: callers
+// that need the trailing bytes must locate them by arithmetic, not resume
+// reading from r (see train.LoadTrainState).
 func (n *Network) LoadCheckpoint(r io.Reader) error {
 	crc := crc32.New(crc32.MakeTable(crc32.Castagnoli))
-	br := bufio.NewReader(io.TeeReader(r, crc))
+	br := bufio.NewReader(r)
 
+	readFull := func(b []byte) error {
+		if _, err := io.ReadFull(br, b); err != nil {
+			return err
+		}
+		crc.Write(b)
+		return nil
+	}
 	readU32 := func() (uint32, error) {
 		var b [4]byte
-		if _, err := io.ReadFull(br, b[:]); err != nil {
+		if err := readFull(b[:]); err != nil {
 			return 0, err
 		}
 		return binary.LittleEndian.Uint32(b[:]), nil
@@ -116,7 +140,7 @@ func (n *Network) LoadCheckpoint(r io.Reader) error {
 			return err
 		}
 		name := make([]byte, nameLen)
-		if _, err := io.ReadFull(br, name); err != nil {
+		if err := readFull(name); err != nil {
 			return err
 		}
 		if string(name) != p.Name {
@@ -153,13 +177,7 @@ func (n *Network) LoadCheckpoint(r io.Reader) error {
 		return fmt.Errorf("nn: reading checkpoint checksum: %w", err)
 	}
 	stored := binary.LittleEndian.Uint32(b[:])
-	// The TeeReader hashed the 4 trailing checksum bytes along with the
-	// payload, so the hash now holds crc(payload || sumBytes). If the
-	// stored value equals crc(payload), extending it by the same 4 bytes
-	// must reproduce the full-stream hash; any payload corruption breaks
-	// the equality.
-	ext := crc32.Update(stored, crc32.MakeTable(crc32.Castagnoli), b[:])
-	if ext != crc.Sum32() {
+	if stored != crc.Sum32() {
 		return fmt.Errorf("nn: checkpoint checksum mismatch")
 	}
 	n.InvalidateWeights()

@@ -38,6 +38,24 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCheckpointSizeMatchesEncoding pins CheckpointSize to the actual
+// encoder output: callers (train's optimizer-state section) locate
+// trailing sections by this arithmetic, so any format change must move
+// both or this fails.
+func TestCheckpointSizeMatchesEncoding(t *testing.T) {
+	n, err := BuildCosmoFlow(TopologyConfig{InputDim: 8, BaseChannels: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := n.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() != n.CheckpointSize() {
+		t.Fatalf("SaveCheckpoint wrote %d bytes, CheckpointSize reports %d", buf.Len(), n.CheckpointSize())
+	}
+}
+
 func TestCheckpointFileRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "model.ckpt")
 	a, _ := BuildCosmoFlow(TopologyConfig{InputDim: 8, BaseChannels: 2, Seed: 3})

@@ -23,6 +23,20 @@ import (
 	"repro/internal/tensor"
 )
 
+// Optimizer is the update rule the training loop drives, plus the state
+// surface checkpointing needs: StateBuffers exposes the optimizer's
+// auxiliary per-parameter state (Adam moments, SGD momentum velocity) in a
+// stable order as raw float32 slices, so a checkpoint can round-trip it
+// and a resumed run continues bit-identically instead of cold-starting
+// the accumulators; SetStepCount restores the schedule position.
+type Optimizer interface {
+	Step()
+	StepCount() int
+	SetStepCount(int)
+	LR() float64
+	StateBuffers() [][]float32
+}
+
 // PolySchedule is the paper's polynomial (power = 1, i.e. linear) decay from
 // Eta0 to EtaMin over DecaySteps, constant at EtaMin afterwards.
 type PolySchedule struct {
@@ -103,8 +117,23 @@ func New(params []*nn.Param, cfg Config) *AdamLARC {
 // StepCount returns the number of completed updates.
 func (o *AdamLARC) StepCount() int { return o.step }
 
+// SetStepCount restores the schedule/bias-correction position, for
+// checkpoint resume.
+func (o *AdamLARC) SetStepCount(n int) { o.step = n }
+
 // LR returns the global learning rate that the next Step will use.
 func (o *AdamLARC) LR() float64 { return o.cfg.Schedule.LR(o.step) }
+
+// StateBuffers returns the Adam moments in parameter order, first moment
+// then second per parameter: [m0, v0, m1, v1, ...]. The slices alias the
+// live optimizer state — copying into them restores it.
+func (o *AdamLARC) StateBuffers() [][]float32 {
+	out := make([][]float32, 0, 2*len(o.params))
+	for i := range o.params {
+		out = append(out, o.m[i], o.v[i])
+	}
+	return out
+}
 
 // Step applies one update using each parameter's accumulated gradient.
 func (o *AdamLARC) Step() {

@@ -12,6 +12,9 @@ import (
 // 2017, which LARC refines — §III-B) was originally defined over momentum
 // SGD, so this optimizer is the natural comparator for the repo's
 // Adam+LARC ablations.
+var _ Optimizer = (*SGDMomentum)(nil)
+var _ Optimizer = (*AdamLARC)(nil)
+
 type SGDMomentum struct {
 	params    []*nn.Param
 	velocity  [][]float32
@@ -47,6 +50,19 @@ func NewSGDMomentum(params []*nn.Param, momentum float64, schedule PolySchedule,
 
 // StepCount returns the number of completed updates.
 func (o *SGDMomentum) StepCount() int { return o.step }
+
+// SetStepCount restores the schedule position, for checkpoint resume.
+func (o *SGDMomentum) SetStepCount(n int) { o.step = n }
+
+// StateBuffers returns the momentum velocity buffers in parameter order.
+// The slices alias the live optimizer state — copying into them restores
+// it, so a resumed run continues bit-identically instead of cold-starting
+// momentum.
+func (o *SGDMomentum) StateBuffers() [][]float32 {
+	out := make([][]float32, len(o.velocity))
+	copy(out, o.velocity)
+	return out
+}
 
 // LR returns the learning rate the next Step will use.
 func (o *SGDMomentum) LR() float64 { return o.Schedule.LR(o.step) }

@@ -204,19 +204,24 @@ func SustainedFlops(res *Result) float64 {
 	}
 	fwd, bwd := res.Net.TotalFLOPs()
 	perSample := float64(fwd + bwd)
-	// Average samples/sec over epochs after the first (the paper excludes
-	// warm-up epochs from its averages, §V-C).
-	var rate float64
-	var n int
-	for i, e := range res.Epochs {
-		if i == 0 && len(res.Epochs) > 1 {
-			continue
+	// Average samples/sec over the trained epochs after the first (the
+	// paper excludes warm-up epochs from its averages, §V-C). Epochs a
+	// resume skipped carry zero stats and are not trained epochs.
+	var trained []EpochStats
+	for _, e := range res.Epochs {
+		if e.Steps > 0 {
+			trained = append(trained, e)
 		}
-		rate += e.SamplesSec
-		n++
 	}
-	if n == 0 {
+	if len(trained) == 0 {
 		return 0
 	}
-	return perSample * rate / float64(n)
+	if len(trained) > 1 {
+		trained = trained[1:]
+	}
+	var rate float64
+	for _, e := range trained {
+		rate += e.SamplesSec
+	}
+	return perSample * rate / float64(len(trained))
 }

@@ -1,0 +1,89 @@
+package train
+
+import (
+	"testing"
+)
+
+// The data sharder underpins distributed bit-identity: every process
+// recomputes the same per-epoch permutation locally, so ranks agree on the
+// global sample order with zero coordination traffic. These tests pin the
+// three properties that argument needs.
+
+// Same seed, same epoch → the same permutation, no matter how often or in
+// which process it is recomputed.
+func TestShardReshuffleDeterministic(t *testing.T) {
+	samples := syntheticSet(24, 8, 11)
+	for epoch := 0; epoch < 4; epoch++ {
+		a := &shardIterator{samples: samples, ranks: 3, rank: 1, seed: 5}
+		b := &shardIterator{samples: samples, ranks: 3, rank: 1, seed: 5}
+		a.startEpoch(epoch)
+		b.startEpoch(epoch)
+		for i := range a.order {
+			if a.order[i] != b.order[i] {
+				t.Fatalf("epoch %d: permutation differs at %d (%d vs %d)", epoch, i, a.order[i], b.order[i])
+			}
+		}
+	}
+}
+
+// Different epochs reshuffle: the permutation is epoch-dependent (§IV-C's
+// random TFRecord reassignment), not one fixed order replayed.
+func TestShardReshufflesAcrossEpochs(t *testing.T) {
+	samples := syntheticSet(32, 8, 12)
+	it := &shardIterator{samples: samples, ranks: 4, rank: 0, seed: 9}
+	it.startEpoch(0)
+	first := append([]int(nil), it.order...)
+	diff := 0
+	for epoch := 1; epoch <= 3; epoch++ {
+		it.startEpoch(epoch)
+		for i := range it.order {
+			if it.order[i] != first[i] {
+				diff++
+			}
+		}
+	}
+	if diff == 0 {
+		t.Fatal("epochs 1..3 replayed epoch 0's permutation exactly")
+	}
+
+	// A different seed must also reshuffle.
+	other := &shardIterator{samples: samples, ranks: 4, rank: 0, seed: 10}
+	other.startEpoch(0)
+	same := true
+	for i := range first {
+		if other.order[i] != first[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical epoch-0 permutations")
+	}
+}
+
+// Every epoch, the rank shards are a disjoint cover: each sample is dealt
+// to exactly one rank, and all samples are dealt, for every epoch.
+func TestShardDisjointCoverEveryEpoch(t *testing.T) {
+	const nSamples, ranks = 20, 4
+	samples := syntheticSet(nSamples, 8, 13)
+	steps := nSamples / ranks
+	for epoch := 0; epoch < 5; epoch++ {
+		seen := make(map[int]int) // sample index → deliveries this epoch
+		for rank := 0; rank < ranks; rank++ {
+			it := &shardIterator{samples: samples, ranks: ranks, rank: rank, seed: 21}
+			it.startEpoch(epoch)
+			for s := 0; s < steps; s++ {
+				seen[it.order[it.pos]]++
+				it.next()
+			}
+		}
+		if len(seen) != nSamples {
+			t.Fatalf("epoch %d: shards covered %d distinct samples, want %d", epoch, len(seen), nSamples)
+		}
+		for idx, c := range seen {
+			if c != 1 {
+				t.Fatalf("epoch %d: sample %d dealt %d times", epoch, idx, c)
+			}
+		}
+	}
+}

@@ -48,8 +48,18 @@ type Config struct {
 	CheckpointPath  string
 	CheckpointEvery int
 	// ResumeFrom, when set, loads a checkpoint into rank 0 before the
-	// initial parameter broadcast, so every replica resumes from it.
+	// initial parameter broadcast, so every replica resumes from it. A
+	// training-state checkpoint (SaveTrainState, what CheckpointPath now
+	// writes) also restores the optimizer accumulators and the completed
+	// epoch count, making the resumed run bit-identical to one that never
+	// stopped; a plain nn parameter checkpoint resumes parameters only.
 	ResumeFrom string
+	// AbortAfterEpoch, when positive, makes rank 0 fail deliberately after
+	// checkpointing that many epochs — fault injection for the distributed
+	// resume tests and dist-smoke. Only meaningful under RunDistributed,
+	// where surviving ranks detect the death and exit; an in-process world
+	// would deadlock, so Run rejects it.
+	AbortAfterEpoch int
 	// OverlapComm starts each layer's gradient aggregation as soon as its
 	// backward pass completes, overlapping communication with the
 	// remaining back-propagation — the non-blocking pipelining the CPE ML
@@ -98,26 +108,16 @@ func (r *Result) FinalValLoss() float64 { return r.Epochs[len(r.Epochs)-1].ValLo
 // this process; rank 0's replica is returned (all replicas are identical at
 // completion by construction).
 func Run(cfg Config, trainSet, valSet []*cosmo.Sample) (*Result, error) {
-	if err := cfg.Validate(); err != nil {
+	cfg, stepsPerEpoch, err := prepareRun(cfg, trainSet)
+	if err != nil {
 		return nil, err
 	}
-	if len(trainSet) < cfg.Ranks {
-		return nil, fmt.Errorf("train: %d training samples for %d ranks; SSGD requires at least one sample per rank (§VII-B)", len(trainSet), cfg.Ranks)
+	if cfg.AbortAfterEpoch > 0 {
+		return nil, fmt.Errorf("train: AbortAfterEpoch is distributed-only (an in-process world would deadlock)")
 	}
 	world, err := comm.NewWorld(cfg.Ranks, comm.WithAlgorithm(cfg.Algorithm), comm.WithHelpers(cfg.Helpers))
 	if err != nil {
 		return nil, err
-	}
-
-	stepsPerEpoch := len(trainSet) / cfg.Ranks
-	totalSteps := stepsPerEpoch * cfg.Epochs
-	if cfg.Optim.Schedule.DecaySteps == 0 {
-		if cfg.Optim.Schedule.Eta0 == 0 && cfg.Optim.Schedule.EtaMin == 0 {
-			cfg.Optim.Schedule = optim.DefaultSchedule(totalSteps)
-		} else {
-			// Caller chose the rates; span the decay over the whole run.
-			cfg.Optim.Schedule.DecaySteps = totalSteps
-		}
 	}
 
 	nets := make([]*nn.Network, cfg.Ranks)
@@ -171,6 +171,30 @@ func Run(cfg Config, trainSet, valSet []*cosmo.Sample) (*Result, error) {
 	return res, nil
 }
 
+// prepareRun validates the configuration and resolves the derived
+// schedule; shared by the in-process and distributed entry points so both
+// worlds train over identical hyperparameters (a bit-identity
+// precondition).
+func prepareRun(cfg Config, trainSet []*cosmo.Sample) (Config, int, error) {
+	if err := cfg.Validate(); err != nil {
+		return cfg, 0, err
+	}
+	if len(trainSet) < cfg.Ranks {
+		return cfg, 0, fmt.Errorf("train: %d training samples for %d ranks; SSGD requires at least one sample per rank (§VII-B)", len(trainSet), cfg.Ranks)
+	}
+	stepsPerEpoch := len(trainSet) / cfg.Ranks
+	totalSteps := stepsPerEpoch * cfg.Epochs
+	if cfg.Optim.Schedule.DecaySteps == 0 {
+		if cfg.Optim.Schedule.Eta0 == 0 && cfg.Optim.Schedule.EtaMin == 0 {
+			cfg.Optim.Schedule = optim.DefaultSchedule(totalSteps)
+		} else {
+			// Caller chose the rates; span the decay over the whole run.
+			cfg.Optim.Schedule.DecaySteps = totalSteps
+		}
+	}
+	return cfg, stepsPerEpoch, nil
+}
+
 // runRank executes Algorithm 2 for one rank. Epoch statistics are written
 // by rank 0 only; the loss values it records are already globally averaged
 // through the collectives, so no extra synchronization is needed beyond the
@@ -182,8 +206,11 @@ func runRank(cfg Config, rank int, c *comm.Comm, net *nn.Network,
 	// Broadcast rank-0 initial parameters so all replicas start identical
 	// (§V-A). A resume checkpoint, if any, is loaded first and therefore
 	// reaches every replica through the same broadcast.
+	var resumed *TrainState
 	if rank == 0 && cfg.ResumeFrom != "" {
-		if err := net.LoadCheckpointFile(cfg.ResumeFrom); err != nil {
+		var err error
+		resumed, err = LoadTrainState(cfg.ResumeFrom, net)
+		if err != nil {
 			return fmt.Errorf("train: resuming from %s: %w", cfg.ResumeFrom, err)
 		}
 	}
@@ -195,10 +222,35 @@ func runRank(cfg Config, rank int, c *comm.Comm, net *nn.Network,
 	net.UnflattenParams(params)
 
 	opt := optim.New(net.Params(), cfg.Optim)
+
+	// Resume control: [epochs done, optimizer steps done, optimizer state
+	// present]. Broadcast as float32 — exact for counters below 2²⁴ —
+	// followed by the optimizer accumulators themselves, so every replica
+	// resumes the schedule and momentum bit-identically, not just the
+	// weights.
+	ctl := make([]float32, 3)
+	if rank == 0 && resumed != nil {
+		if err := resumed.Apply(opt); err != nil {
+			return fmt.Errorf("train: resuming from %s: %w", cfg.ResumeFrom, err)
+		}
+		ctl[0] = float32(resumed.EpochsDone)
+		ctl[1] = float32(resumed.StepCount)
+		ctl[2] = 1
+	}
+	c.Broadcast(ctl, 0)
+	startEpoch := 0
+	if ctl[2] != 0 {
+		for _, buf := range opt.StateBuffers() {
+			c.Broadcast(buf, 0)
+		}
+		opt.SetStepCount(int(ctl[1]))
+		startEpoch = int(ctl[0])
+	}
+
 	gradBuf := make([]float32, net.GradSize())
 	shard := &shardIterator{samples: trainSet, ranks: cfg.Ranks, rank: rank, seed: cfg.Seed}
 
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
 		epochStart := time.Now()
 		shard.startEpoch(epoch)
 		var lossSum float64
@@ -228,8 +280,14 @@ func runRank(cfg Config, rank int, c *comm.Comm, net *nn.Network,
 				// on every rank, so the per-tag FIFO streams line up.
 				bucketCh := make(chan []*nn.Param, len(net.Layers))
 				commDone := make(chan struct{})
+				var commPanic any
 				go func() {
 					defer close(commDone)
+					// LIFO defers: the recover runs before commDone
+					// closes, so a transport failure re-raises on the
+					// rank's own goroutine below instead of crashing
+					// the process from here.
+					defer func() { commPanic = recover() }()
 					for ps := range bucketCh {
 						for _, p := range ps {
 							c.AllReduceMean(p.Grad.Data())
@@ -244,6 +302,9 @@ func runRank(cfg Config, rank int, c *comm.Comm, net *nn.Network,
 				})
 				close(bucketCh)
 				<-commDone
+				if commPanic != nil {
+					panic(commPanic)
+				}
 				if profile != nil && rank == 0 {
 					profile.Add(CatComms, time.Since(commStart))
 				}
@@ -283,10 +344,13 @@ func runRank(cfg Config, rank int, c *comm.Comm, net *nn.Network,
 				every = 1
 			}
 			if (epoch+1)%every == 0 || epoch == cfg.Epochs-1 {
-				if err := net.SaveCheckpointFile(cfg.CheckpointPath); err != nil {
+				if err := SaveTrainState(cfg.CheckpointPath, net, opt, epoch+1); err != nil {
 					return fmt.Errorf("train: checkpointing epoch %d: %w", epoch, err)
 				}
 			}
+		}
+		if rank == 0 && cfg.AbortAfterEpoch > 0 && epoch+1 >= cfg.AbortAfterEpoch {
+			return fmt.Errorf("train: %w after epoch %d", ErrAborted, epoch)
 		}
 		if rank == 0 {
 			res.Epochs[epoch] = EpochStats{

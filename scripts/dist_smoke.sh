@@ -1,0 +1,54 @@
+#!/bin/sh
+# dist-smoke: end-to-end multi-process training smoke (the ISSUE 4
+# acceptance run). Asserts that
+#   1. a 4-process TCP world (-launch 4) reproduces the in-process 4-rank
+#      world's per-epoch train/val losses bit-for-bit, and
+#   2. killing the world mid-run (injected rank-0 abort after epoch 2) and
+#      relaunching it resumes from the latest checkpoint and finishes with
+#      the same losses as the uninterrupted run.
+# Expects the binary at $BIN (default /tmp/cosmoflow-train; `make
+# dist-smoke` builds it there).
+set -eu
+
+BIN=${BIN:-/tmp/cosmoflow-train}
+ARGS="-synthetic 16 -dim 8 -base 2 -epochs 4 -helpers 2 -seed 7"
+CKPT=$(mktemp /tmp/dist-smoke-XXXXXX.ckpt)
+trap 'rm -f "$CKPT"' EXIT
+
+# losses filters a training log to "epoch trainloss valloss" rows.
+losses() { awk '/^ *[0-9]+ /{print $1, $2, $3}'; }
+
+echo "== in-process 4-rank reference"
+ref="$($BIN -ranks 4 $ARGS | losses)"
+if [ -z "$ref" ]; then
+    echo "dist-smoke: FAIL: reference run produced no epoch table" >&2
+    exit 1
+fi
+echo "$ref"
+
+echo "== 4-process TCP world (-launch 4)"
+got="$($BIN -launch 4 $ARGS | losses)"
+if [ "$got" != "$ref" ]; then
+    echo "dist-smoke: FAIL: TCP world losses differ from in-process run" >&2
+    printf 'in-process:\n%s\nTCP world:\n%s\n' "$ref" "$got" >&2
+    exit 1
+fi
+echo "bit-identical to the in-process world"
+
+echo "== mid-run world kill + relaunch from checkpoint"
+rm -f "$CKPT"
+out="$($BIN -launch 4 $ARGS -ckpt "$CKPT" -abort-after 2 -max-restarts 1 2>&1)"
+if ! echo "$out" | grep -q "relaunching from"; then
+    echo "dist-smoke: FAIL: launcher never relaunched the failed world" >&2
+    echo "$out" >&2
+    exit 1
+fi
+tail="$(echo "$out" | losses)"
+want_tail="$(echo "$ref" | awk '$1 >= 2')"
+if [ "$tail" != "$want_tail" ]; then
+    echo "dist-smoke: FAIL: resumed epochs differ from the uninterrupted run" >&2
+    printf 'want:\n%s\ngot:\n%s\n' "$want_tail" "$tail" >&2
+    exit 1
+fi
+echo "resumed epochs bit-identical to the uninterrupted run"
+echo "dist-smoke: PASS"
