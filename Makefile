@@ -5,11 +5,11 @@
 
 GO ?= go
 
-.PHONY: check ci fmt vet build test race bench bench-smoke serve-smoke api-smoke dist-smoke
+.PHONY: check ci fmt vet build test race bench bench-smoke serve-smoke api-smoke dist-smoke fuzz-smoke gateway-smoke
 
 check: fmt vet build test
 
-ci: fmt vet build test race bench-smoke serve-smoke api-smoke dist-smoke
+ci: fmt vet build test race fuzz-smoke bench-smoke serve-smoke api-smoke dist-smoke gateway-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -25,11 +25,18 @@ test:
 	$(GO) test ./...
 
 # Race-detect the concurrency-bearing packages: the serving subsystem
-# (replica pools, micro-batcher), the batched kernels (shared worker
-# pools, recycled buffers), and the communication layer (helper-team
+# (replica pools, micro-batcher), the gateway (probe loops, hedged
+# requests, scatter-gather), the batched kernels (shared worker pools,
+# recycled buffers), and the communication layer (helper-team
 # collectives, TCP reader/heartbeat goroutines).
 race:
-	$(GO) test -race ./internal/serve ./internal/nn ./internal/comm ./internal/dist
+	$(GO) test -race ./internal/serve ./internal/gateway ./internal/nn ./internal/comm ./internal/dist
+
+# Short fuzz of the wire codec's decoder: header-bounded size checks,
+# truncated frames, dims/dtype abuse. Seconds, not minutes — the corpus
+# seeds cover the known-nasty shapes and CI just shakes for regressions.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzReadTensor -fuzztime 10s ./internal/serve/wire
 
 # Full benchmark sweep (minutes); see EXPERIMENTS.md for the record.
 bench:
@@ -68,3 +75,13 @@ api-smoke:
 dist-smoke:
 	$(GO) build -o /tmp/cosmoflow-train ./cmd/cosmoflow-train
 	sh scripts/dist_smoke.sh
+
+# Cluster serving smoke: 3 backends + gateway, predict over both
+# encodings (bit-identity against a direct backend), lifecycle fan-out,
+# then kill one backend under load and assert zero client-visible
+# failures after ejection (scripts/gateway_smoke.sh).
+gateway-smoke:
+	$(GO) build -o /tmp/cosmoflow-serve ./cmd/cosmoflow-serve
+	$(GO) build -o /tmp/cosmoflow-gateway ./cmd/cosmoflow-gateway
+	$(GO) build -o /tmp/cosmoflow-loadgen ./cmd/cosmoflow-loadgen
+	sh scripts/gateway_smoke.sh

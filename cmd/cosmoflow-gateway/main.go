@@ -1,0 +1,100 @@
+// Command cosmoflow-gateway is the cluster serving daemon: one
+// v1-compatible endpoint fronting N cosmoflow-serve backends with
+// health-driven routing, circuit-breaker failover, optional tail-latency
+// hedging, scatter-gather batch predicts, and model-lifecycle fan-out
+// (see internal/gateway).
+//
+// Usage:
+//
+//	cosmoflow-gateway -addr :8090 \
+//	    -backends http://h1:8080,http://h2:8080,http://h3:8080 \
+//	    -policy least-outstanding
+//
+// Endpoints (DESIGN.md "Cluster serving"):
+//
+//	POST   /v1/models/{name}:predict  proxied single volume, or scatter-gather
+//	                                  batch ([N C D H W] frame / JSON {"batch"})
+//	GET    /v1/models[/{name}]        pool-wide aggregated model view
+//	PUT    /v1/models/{name}          load broadcast to every reachable backend
+//	DELETE /v1/models/{name}          unload broadcast
+//	GET    /healthz                   503 until ≥1 backend is ready per model
+//	GET    /stats                     routing counters + per-backend status
+//
+// /healthz follows the same readiness contract as a single backend, so
+// orchestrators and smoke scripts reuse one poll for both tiers.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/gateway"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cosmoflow-gateway: ")
+
+	addr := flag.String("addr", ":8090", "listen address")
+	backends := flag.String("backends", "", "comma-separated cosmoflow-serve base URLs (required)")
+	policy := flag.String("policy", gateway.PolicyLeastOutstanding,
+		"routing policy: least-outstanding or consistent-hash")
+	probeInterval := flag.Duration("probe-interval", 500*time.Millisecond, "backend health/placement probe period")
+	probeTimeout := flag.Duration("probe-timeout", 2*time.Second, "one probe's round-trip budget")
+	backendTimeout := flag.Duration("backend-timeout", 60*time.Second, "one proxied request's round-trip budget")
+	ejectAfter := flag.Int("eject-after", 3, "consecutive transport failures that eject a backend")
+	readmitAfter := flag.Duration("readmit-after", 2*time.Second, "cooldown before probing an ejected backend for re-admission")
+	retries := flag.Int("retries", 2, "additional backends a failed predict fails over to (negative disables failover)")
+	hedgePct := flag.Float64("hedge-pct", 0, "tail-latency hedge percentile (e.g. 95; 0 disables)")
+	hedgeMin := flag.Duration("hedge-min", 10*time.Millisecond, "hedge delay floor")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
+	flag.Parse()
+
+	if *backends == "" {
+		log.Fatal("-backends is required (comma-separated cosmoflow-serve base URLs)")
+	}
+	gw, err := gateway.New(gateway.Config{
+		Backends:        strings.Split(*backends, ","),
+		Policy:          *policy,
+		ProbeInterval:   *probeInterval,
+		ProbeTimeout:    *probeTimeout,
+		BackendTimeout:  *backendTimeout,
+		EjectAfter:      *ejectAfter,
+		ReadmitAfter:    *readmitAfter,
+		Retries:         *retries,
+		HedgePercentile: *hedgePct,
+		HedgeMin:        *hedgeMin,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := gateway.NewServer(gw, *addr)
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	log.Printf("listening on %s, fronting %d backends, policy %s (healthz turns 200 when every model has a ready backend)",
+		*addr, len(gw.Pool().Backends()), *policy)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("received %v; draining (budget %v)", sig, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+	case err := <-errCh:
+		if err != nil && err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}
+}

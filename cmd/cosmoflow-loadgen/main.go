@@ -1,15 +1,23 @@
 // Command cosmoflow-loadgen is a closed-loop load generator for
-// cosmoflow-serve: c workers each keep one request in flight against the
-// v1 predict route until n requests complete, then it reports achieved
-// QPS and the latency distribution (p50/p90/p99) — the measurement
-// harness for the serving subsystem, in the spirit of the paper's scaling
-// methodology (fixed work per worker, wall-clock throughput).
+// cosmoflow-serve and cosmoflow-gateway: c workers each keep one request
+// in flight against the v1 predict route until n requests complete, then
+// it reports achieved QPS and the latency distribution (p50/p90/p99) —
+// the measurement harness for the serving subsystem, in the spirit of the
+// paper's scaling methodology (fixed work per worker, wall-clock
+// throughput).
 //
 // Requests go through the typed v1 client (internal/serve/client) in
 // either encoding, so the same harness measures the JSON-vs-binary wire
 // comparison end to end:
 //
 //	cosmoflow-loadgen -addr http://localhost:8080 -n 256 -c 8 -dim 16 -wire binary
+//
+// Against a gateway it also reports the per-backend spread (from the
+// X-Cosmoflow-Backend response header), and -sweep runs one invocation
+// over several concurrency levels so scaling tables come from a single
+// run:
+//
+//	cosmoflow-loadgen -addr http://localhost:8090 -n 256 -sweep 1,2,4,8
 //
 // -dump-body writes one encoded request body to a file and exits, for
 // curl-based smoke tests of the raw HTTP surface (see `make api-smoke`).
@@ -24,9 +32,10 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
-	"net/http"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -35,18 +44,134 @@ import (
 	"repro/internal/serve/client"
 )
 
+type encodedBody struct {
+	data []byte
+	ct   string
+}
+
+// runResult is one closed-loop run's measurement.
+type runResult struct {
+	elapsed  time.Duration
+	ok       []time.Duration // successful latencies, sorted ascending
+	failures int64
+	spread   map[string]int64 // backend → served count (gateway runs only)
+}
+
+// runLoad drives n closed-loop requests over c workers and collects the
+// latency distribution plus the per-backend spread.
+func runLoad(cl *client.Client, model string, bodies []encodedBody, n, c int) runResult {
+	ctx := context.Background()
+	var next atomic.Int64
+	var failures atomic.Int64
+	latencies := make([]time.Duration, n)
+	backends := make([]string, n)
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	for w := 0; w < c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				b := bodies[i%len(bodies)]
+				t0 := time.Now()
+				pr, err := cl.PredictEncoded(ctx, model, b.data, b.ct)
+				if err != nil {
+					// Excluded from the latency distribution: a fast
+					// connection-refused or a slow client timeout would
+					// both misrepresent the server.
+					latencies[i] = -1
+					failures.Add(1)
+					log.Printf("request %d: %v", i, err)
+					continue
+				}
+				latencies[i] = time.Since(t0)
+				backends[i] = pr.Backend
+			}
+		}()
+	}
+	wg.Wait()
+
+	res := runResult{
+		elapsed:  time.Since(start),
+		failures: failures.Load(),
+		spread:   map[string]int64{},
+	}
+	for i, l := range latencies {
+		if l < 0 {
+			continue
+		}
+		res.ok = append(res.ok, l)
+		if backends[i] != "" {
+			res.spread[backends[i]]++
+		}
+	}
+	sort.Slice(res.ok, func(i, j int) bool { return res.ok[i] < res.ok[j] })
+	return res
+}
+
+func (r runResult) quantile(p float64) time.Duration {
+	if len(r.ok) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(r.ok)))
+	if i >= len(r.ok) {
+		i = len(r.ok) - 1
+	}
+	return r.ok[i]
+}
+
+func (r runResult) mean() time.Duration {
+	if len(r.ok) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, l := range r.ok {
+		sum += l
+	}
+	return sum / time.Duration(len(r.ok))
+}
+
+func (r runResult) qps() float64 {
+	return float64(len(r.ok)) / r.elapsed.Seconds()
+}
+
+// printSpread reports how the pool shared the load; silent against a
+// single backend (no X-Cosmoflow-Backend header in direct responses).
+func printSpread(r runResult) {
+	if len(r.spread) == 0 {
+		return
+	}
+	addrs := make([]string, 0, len(r.spread))
+	for a := range r.spread {
+		addrs = append(addrs, a)
+	}
+	sort.Strings(addrs)
+	fmt.Printf("backend spread:\n")
+	for _, a := range addrs {
+		fmt.Printf("  %-32s %5d (%4.1f%%)\n", a, r.spread[a],
+			100*float64(r.spread[a])/float64(len(r.ok)))
+	}
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cosmoflow-loadgen: ")
 
-	addr := flag.String("addr", "http://localhost:8080", "cosmoflow-serve base URL")
+	addr := flag.String("addr", "http://localhost:8080", "cosmoflow-serve or cosmoflow-gateway base URL")
 	model := flag.String("model", "", "model name (empty: server default)")
-	n := flag.Int("n", 256, "total requests")
+	n := flag.Int("n", 256, "total requests (per sweep level when -sweep is set)")
 	c := flag.Int("c", 8, "concurrent workers (closed loop: one request in flight each)")
+	sweep := flag.String("sweep", "", "comma-separated concurrency levels to run in sequence (e.g. 1,2,4,8); overrides -c")
 	dim := flag.Int("dim", 16, "voxel edge length of generated request volumes")
 	channels := flag.Int("channels", 1, "input channels of generated request volumes")
 	seed := flag.Int64("seed", 1, "synthetic sample seed")
 	wireFlag := flag.String("wire", "binary", "request/response encoding: json or binary")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-request round-trip cap")
 	dumpBody := flag.String("dump-body", "", "write one encoded request body to FILE and exit")
 	flag.Parse()
 	if *n < 1 || *c < 1 {
@@ -56,21 +181,33 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var levels []int
+	if *sweep != "" {
+		for _, f := range strings.Split(*sweep, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || v < 1 {
+				log.Fatalf("-sweep: bad concurrency level %q", f)
+			}
+			levels = append(levels, v)
+		}
+	}
 
 	// Pre-generate a pool of deterministic synthetic volumes and encode
 	// them once, so request construction stays off the measured path and
 	// the comparison isolates the wire + server cost per encoding.
-	nSamples := *c * 4
+	maxC := *c
+	for _, l := range levels {
+		if l > maxC {
+			maxC = l
+		}
+	}
+	nSamples := maxC * 4
 	if nSamples > *n {
 		nSamples = *n
 	}
 	dims := []int{*channels, *dim, *dim, *dim}
 	rng := rand.New(rand.NewSource(*seed))
-	type body struct {
-		data []byte
-		ct   string
-	}
-	bodies := make([]body, nSamples)
+	bodies := make([]encodedBody, nSamples)
 	for i := range bodies {
 		target := [3]float32{rng.Float32(), rng.Float32(), rng.Float32()}
 		s := cosmo.SyntheticSample(*dim, target, rng.Int63())
@@ -85,7 +222,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		bodies[i] = body{data, ct}
+		bodies[i] = encodedBody{data, ct}
 	}
 
 	if *dumpBody != "" {
@@ -98,74 +235,49 @@ func main() {
 
 	cl := client.New(*addr,
 		client.WithEncoding(enc),
-		client.WithHTTPClient(&http.Client{Timeout: 60 * time.Second}))
-	ctx := context.Background()
-	var next atomic.Int64
-	var failures atomic.Int64
-	latencies := make([]time.Duration, *n)
-	var wg sync.WaitGroup
+		client.WithTimeout(*timeout))
 
-	start := time.Now()
-	for w := 0; w < *c; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= *n {
-					return
-				}
-				b := bodies[i%len(bodies)]
-				t0 := time.Now()
-				_, err := cl.PredictEncoded(ctx, *model, b.data, b.ct)
-				if err != nil {
-					// Excluded from the latency distribution: a fast
-					// connection-refused or a slow client timeout would
-					// both misrepresent the server.
-					latencies[i] = -1
-					failures.Add(1)
-					log.Printf("request %d: %v", i, err)
-					continue
-				}
-				latencies[i] = time.Since(t0)
-			}
-		}()
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
-
-	// Successful requests only: failures would skew both tails.
-	ok := latencies[:0]
-	for _, l := range latencies {
-		if l >= 0 {
-			ok = append(ok, l)
+	if len(levels) > 0 {
+		// Concurrency sweep: one table row per level, a shared request
+		// pool, and the pooled transport warm across levels — the shape
+		// EXPERIMENTS.md scaling tables are built from.
+		fmt.Printf("sweep:       %d requests per level, encoding %s (%d-byte bodies)\n",
+			*n, enc, len(bodies[0].data))
+		fmt.Printf("%4s  %10s  %10s  %10s  %10s  %10s  %6s\n",
+			"c", "qps", "mean", "p50", "p90", "p99", "fails")
+		var totalFails int64
+		for _, lvl := range levels {
+			r := runLoad(cl, *model, bodies, *n, lvl)
+			totalFails += r.failures
+			fmt.Printf("%4d  %10.1f  %10v  %10v  %10v  %10v  %6d\n",
+				lvl, r.qps(),
+				r.mean().Round(time.Microsecond),
+				r.quantile(0.50).Round(time.Microsecond),
+				r.quantile(0.90).Round(time.Microsecond),
+				r.quantile(0.99).Round(time.Microsecond),
+				r.failures)
+			printSpread(r)
 		}
+		if totalFails > 0 {
+			os.Exit(1)
+		}
+		return
 	}
-	fails := failures.Load()
-	fmt.Printf("requests:    %d (%d failed)\n", *n, fails)
+
+	r := runLoad(cl, *model, bodies, *n, *c)
+	fmt.Printf("requests:    %d (%d failed)\n", *n, r.failures)
 	fmt.Printf("concurrency: %d workers (closed loop)\n", *c)
 	fmt.Printf("encoding:    %s (%d-byte bodies)\n", enc, len(bodies[0].data))
-	fmt.Printf("elapsed:     %v\n", elapsed.Round(time.Millisecond))
-	fmt.Printf("throughput:  %.1f successful requests/s\n", float64(len(ok))/elapsed.Seconds())
-	if len(ok) > 0 {
-		sort.Slice(ok, func(i, j int) bool { return ok[i] < ok[j] })
-		var sum time.Duration
-		for _, l := range ok {
-			sum += l
-		}
-		q := func(p float64) time.Duration {
-			i := int(p * float64(len(ok)))
-			if i >= len(ok) {
-				i = len(ok) - 1
-			}
-			return ok[i]
-		}
+	fmt.Printf("elapsed:     %v\n", r.elapsed.Round(time.Millisecond))
+	fmt.Printf("throughput:  %.1f successful requests/s\n", r.qps())
+	if len(r.ok) > 0 {
 		fmt.Printf("latency:     mean %v  p50 %v  p90 %v  p99 %v  max %v\n",
-			(sum / time.Duration(len(ok))).Round(time.Microsecond),
-			q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
-			q(0.99).Round(time.Microsecond), ok[len(ok)-1].Round(time.Microsecond))
+			r.mean().Round(time.Microsecond),
+			r.quantile(0.50).Round(time.Microsecond), r.quantile(0.90).Round(time.Microsecond),
+			r.quantile(0.99).Round(time.Microsecond), r.ok[len(r.ok)-1].Round(time.Microsecond))
 	}
-	if fails > 0 {
+	printSpread(r)
+	if r.failures > 0 {
 		os.Exit(1)
 	}
 }

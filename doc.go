@@ -26,14 +26,23 @@
 // encodings: JSON or the binary tensor wire format (internal/serve/wire,
 // ~50-90x faster than JSON per request), shared DTOs (internal/serve/api),
 // and a typed Go client over both encodings (internal/serve/client) —
-// behind the cosmoflow-serve daemon, the cosmoflow-loadgen load generator,
-// and cosmoflow-infer's remote scoring mode.
+// behind the cosmoflow-serve daemon, the cosmoflow-loadgen load generator
+// (per-backend spread reporting, -sweep concurrency tables), and
+// cosmoflow-infer's remote scoring mode. Above the single-process daemon
+// sits the cluster serving tier (internal/gateway, cosmoflow-gateway):
+// one v1-compatible endpoint fronting N backends with health-probed pool
+// membership and circuit-breaker ejection, pluggable routing
+// (least-outstanding or consistent-hash-by-model), retry + tail-latency
+// hedging, scatter-gather batch predicts reassembled bit-identically in
+// order, and model-lifecycle fan-out with per-backend aggregation.
 //
 // See DESIGN.md for the system inventory, the "Serving API v1" contract
-// (routes, wire-format layout, versioning/deprecation policy), and the CI
-// pipeline (.github/workflows/ci.yml, mirrored by `make ci`: fmt, vet,
-// build, test, race on the concurrency-bearing packages, and the
-// serving/API smokes), EXPERIMENTS.md for the paper-versus-measured record
-// of every table and figure, and bench_test.go for the benchmark harness
-// that regenerates them.
+// (routes, wire-format layout, versioning/deprecation policy), the
+// "Cluster serving" tier (pool states, routing policies, hedging rules,
+// the scatter-gather bit-identity argument), and the CI pipeline
+// (.github/workflows/ci.yml, mirrored by `make ci`: fmt, vet, build,
+// test, race on the concurrency-bearing packages, the wire-codec fuzz
+// smoke, and the serving/API/dist/gateway smokes), EXPERIMENTS.md for the
+// paper-versus-measured record of every table and figure, and
+// bench_test.go for the benchmark harness that regenerates them.
 package repro

@@ -40,6 +40,11 @@ const (
 	HeaderBatchSize = "X-Cosmoflow-Batch-Size"
 	// HeaderLatencyMs carries PredictResponse.LatencyMs on binary responses.
 	HeaderLatencyMs = "X-Cosmoflow-Latency-Ms"
+	// HeaderBackend identifies which pool member served a request routed
+	// through cosmoflow-gateway (the backend's base URL). Absent on direct
+	// backend responses; the typed client copies it into
+	// PredictResponse.Backend so load generators can report spread.
+	HeaderBackend = "X-Cosmoflow-Backend"
 )
 
 // Error codes carried in the error envelope, mirroring the HTTP status.
@@ -51,6 +56,7 @@ const (
 	CodePayloadTooLarge  = "PAYLOAD_TOO_LARGE"  // 413
 	CodeUnavailable      = "UNAVAILABLE"        // 503 (draining/hot-swap; retry)
 	CodeInternal         = "INTERNAL"           // 500
+	CodeUpstream         = "UPSTREAM"           // 502 (gateway: backend(s) failed)
 )
 
 // Model lifecycle states reported by /v1/models and /healthz.
@@ -60,11 +66,14 @@ const (
 	StateFailed  = "failed"  // last load failed and no instance is serving
 )
 
-// ErrorDetail is the typed error payload.
+// ErrorDetail is the typed error payload. Details is optional structured
+// context (the gateway attaches a FanoutResponse to CodeUpstream errors so
+// a failed broadcast still reports the per-backend outcomes).
 type ErrorDetail struct {
 	Code      string `json:"code"`
 	Message   string `json:"message"`
 	RequestID string `json:"request_id,omitempty"`
+	Details   any    `json:"details,omitempty"`
 }
 
 // ErrorResponse is the envelope every non-2xx response carries.
@@ -80,10 +89,14 @@ type Params struct {
 }
 
 // PredictRequest is the JSON predict body. Model is honored only by the
-// legacy /predict route; v1 takes the model from the URL.
+// legacy /predict route; v1 takes the model from the URL. Batch is the
+// gateway's scatter-gather form: a list of equally-shaped volumes that
+// cosmoflow-gateway splits across ready backends and reassembles in
+// order; backends themselves take exactly one of Voxels or (never) Batch.
 type PredictRequest struct {
-	Model  string    `json:"model,omitempty"`
-	Voxels []float32 `json:"voxels"`
+	Model  string      `json:"model,omitempty"`
+	Voxels []float32   `json:"voxels,omitempty"`
+	Batch  [][]float32 `json:"batch,omitempty"`
 }
 
 // PredictResponse is the predict answer (JSON form; the binary form
@@ -96,6 +109,22 @@ type PredictResponse struct {
 	BatchSize  int        `json:"batch_size"`
 	LatencyMs  float64    `json:"latency_ms"`
 	RequestID  string     `json:"request_id,omitempty"`
+	// Backend is the pool member that served the request when it was routed
+	// through cosmoflow-gateway. Backends never set it in response bodies;
+	// the typed client fills it from the HeaderBackend response header, so
+	// body bytes stay bit-identical between direct and gateway paths.
+	Backend string `json:"backend,omitempty"`
+}
+
+// BatchPredictResponse is the gateway's answer to a scatter-gather predict
+// (JSON form): one PredictResponse per input volume, in input order. The
+// binary form is an [N 2 3] float64 frame whose rows are the individual
+// response frames stacked in order.
+type BatchPredictResponse struct {
+	Model       string            `json:"model"`
+	Count       int               `json:"count"`
+	Predictions []PredictResponse `json:"predictions"`
+	RequestID   string            `json:"request_id,omitempty"`
 }
 
 // PredictTensorDims is the shape of the binary predict response frame:
@@ -197,4 +226,64 @@ type ModelStats struct {
 type StatsResponse struct {
 	UptimeS float64               `json:"uptime_s"`
 	Models  map[string]ModelStats `json:"models"`
+}
+
+// Backend pool states reported by the gateway (see internal/gateway).
+const (
+	BackendJoining  = "joining"  // configured, no successful probe yet
+	BackendReady    = "ready"    // probes healthy, every model ready
+	BackendDegraded = "degraded" // reachable but /healthz 503 (some models not ready)
+	BackendEjected  = "ejected"  // circuit open after consecutive failures
+)
+
+// BackendOpResult is one backend's outcome in a gateway lifecycle fan-out
+// (PUT/DELETE /v1/models/{name} broadcast to the pool).
+type BackendOpResult struct {
+	Backend string `json:"backend"`
+	Status  string `json:"status"` // "ok" or "error"
+	Error   string `json:"error,omitempty"`
+}
+
+// FanoutResponse aggregates a lifecycle broadcast: 200 only when every
+// non-ejected backend succeeded; otherwise 502 with the per-backend
+// failures preserved so operators see exactly which members diverged.
+type FanoutResponse struct {
+	Model     string            `json:"model"`
+	Op        string            `json:"op"` // "load" or "unload"
+	Results   []BackendOpResult `json:"results"`
+	RequestID string            `json:"request_id,omitempty"`
+}
+
+// BackendStatus is one pool member's entry in the gateway's /stats answer:
+// router-facing state plus the per-model snapshot from its last probe.
+type BackendStatus struct {
+	Backend      string        `json:"backend"`
+	State        string        `json:"state"`
+	Outstanding  int64         `json:"outstanding"` // gateway requests in flight on it
+	Requests     int64         `json:"requests"`    // gateway requests routed to it
+	Errors       int64         `json:"errors"`      // transport/5xx failures observed
+	ConsecFails  int64         `json:"consec_fails"`
+	ReadyModels  []string      `json:"ready_models,omitempty"`
+	Models       []ModelStatus `json:"models,omitempty"` // last probe's GET /v1/models
+	LastProbeAgo float64       `json:"last_probe_ago_s"`
+}
+
+// GatewayStats are the gateway's own routing counters.
+type GatewayStats struct {
+	Requests  int64 `json:"requests"`
+	Errors    int64 `json:"errors"`  // requests that exhausted retries
+	Retries   int64 `json:"retries"` // failover re-sends to another backend
+	Hedges    int64 `json:"hedges"`  // tail-latency hedges launched
+	HedgeWins int64 `json:"hedge_wins"`
+	Scattered int64 `json:"scattered"` // batch requests split across the pool
+}
+
+// GatewayStatsResponse is GET /stats on cosmoflow-gateway: the routing
+// counters plus every backend's status — the aggregated stats DTO the
+// single-process StatsResponse cannot express.
+type GatewayStatsResponse struct {
+	UptimeS  float64         `json:"uptime_s"`
+	Policy   string          `json:"policy"`
+	Gateway  GatewayStats    `json:"gateway"`
+	Backends []BackendStatus `json:"backends"`
 }

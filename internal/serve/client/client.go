@@ -14,14 +14,44 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net"
 	"net/http"
 	"net/url"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/serve/api"
 	"repro/internal/serve/wire"
 )
+
+// sharedTransport is the connection pool every Client rides by default.
+// One pool per process (not per Client) matters to the gateway and the
+// load generator, which build one Client per backend: keep-alive
+// connections are bounded and reused across all of them instead of each
+// Client growing its own unbounded idle set.
+var sharedTransport = &http.Transport{
+	// Keep http.DefaultTransport's environment-proxy and HTTP/2 behavior:
+	// callers that worked through HTTP(S)_PROXY before the shared pool
+	// existed must keep working through it.
+	Proxy:             http.ProxyFromEnvironment,
+	ForceAttemptHTTP2: true,
+	DialContext: (&net.Dialer{
+		Timeout:   5 * time.Second,
+		KeepAlive: 30 * time.Second,
+	}).DialContext,
+	MaxIdleConns:        256,
+	MaxIdleConnsPerHost: 64,
+	IdleConnTimeout:     90 * time.Second,
+	// Predict bodies are large and already encoded; disable opportunistic
+	// compression negotiation rather than pay for it on the hot path.
+	DisableCompression: true,
+}
+
+// SharedTransport returns the process-wide pooled http.Transport the
+// client package dials through, for callers that build their own
+// http.Client but still want to share the connection pool.
+func SharedTransport() *http.Transport { return sharedTransport }
 
 // Encoding selects the predict request/response body format.
 type Encoding string
@@ -63,8 +93,18 @@ func (e *APIError) Error() string {
 // Option configures a Client.
 type Option func(*Client)
 
-// WithHTTPClient substitutes the transport (timeouts, connection pools).
+// WithHTTPClient substitutes the whole http.Client (custom transports,
+// test doubles). WithHTTPClient and WithTimeout each replace the client,
+// so options apply in call order and the last one wins — don't combine
+// them.
 func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithTimeout caps every request round-trip (headers through body) while
+// keeping the shared pooled transport. Zero means no cap beyond the
+// caller's context. Last-wins with WithHTTPClient; see above.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.hc = &http.Client{Transport: sharedTransport, Timeout: d} }
+}
 
 // WithEncoding selects the predict body encoding (default Binary).
 func WithEncoding(enc Encoding) Option { return func(c *Client) { c.enc = enc } }
@@ -77,11 +117,13 @@ type Client struct {
 	enc  Encoding
 }
 
-// New builds a client for baseURL (e.g. "http://localhost:8080").
+// New builds a client for baseURL (e.g. "http://localhost:8080"). All
+// clients dial through one process-wide pooled transport; use WithTimeout
+// for a per-request deadline or WithHTTPClient to replace the stack.
 func New(baseURL string, opts ...Option) *Client {
 	c := &Client{
 		base: strings.TrimRight(baseURL, "/"),
-		hc:   http.DefaultClient,
+		hc:   &http.Client{Transport: sharedTransport},
 		enc:  Binary,
 	}
 	for _, o := range opts {
@@ -92,6 +134,9 @@ func New(baseURL string, opts ...Option) *Client {
 
 // Encoding returns the predict body encoding this client negotiates.
 func (c *Client) Encoding() Encoding { return c.enc }
+
+// BaseURL returns the server base URL this client targets.
+func (c *Client) BaseURL() string { return c.base }
 
 // EncodePredictRequest renders one predict body in the given encoding and
 // returns it with its Content-Type. dims is the volume shape ([C D H W]
@@ -148,7 +193,15 @@ func (c *Client) PredictEncoded(ctx context.Context, model string, body []byte, 
 	return c.predictBody(ctx, model, body, contentType)
 }
 
-func (c *Client) predictBody(ctx context.Context, model string, body []byte, contentType string) (*api.PredictResponse, error) {
+// PredictRaw posts a pre-encoded predict body and returns the raw
+// *http.Response without consuming it — status, headers, and body exactly
+// as the server sent them. This is the gateway's proxy primitive: the
+// response streams through to the gateway's client untouched, which is
+// what makes the "bit-identical through the gateway" guarantee a
+// pass-through property instead of a re-encoding proof. The caller must
+// drain and close the body; extra request headers (e.g. the caller's
+// X-Request-Id) ride along via hdr.
+func (c *Client) PredictRaw(ctx context.Context, model string, body []byte, contentType, accept string, hdr http.Header) (*http.Response, error) {
 	if model == "" {
 		model = api.DefaultModel
 	}
@@ -157,16 +210,32 @@ func (c *Client) predictBody(ctx context.Context, model string, body []byte, con
 	if err != nil {
 		return nil, err
 	}
-	req.Header.Set("Content-Type", contentType)
-	if c.enc == Binary {
-		req.Header.Set("Accept", wire.ContentTypeTensor)
-	} else {
-		req.Header.Set("Accept", wire.ContentTypeJSON)
+	for k, vs := range hdr {
+		req.Header[k] = vs
 	}
-	resp, err := c.hc.Do(req)
+	req.Header.Set("Content-Type", contentType)
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	return c.hc.Do(req)
+}
+
+func (c *Client) predictBody(ctx context.Context, model string, body []byte, contentType string) (*api.PredictResponse, error) {
+	accept := wire.ContentTypeJSON
+	if c.enc == Binary {
+		accept = wire.ContentTypeTensor
+	}
+	resp, err := c.PredictRaw(ctx, model, body, contentType, accept, nil)
 	if err != nil {
 		return nil, err
 	}
+	return DecodePredict(resp)
+}
+
+// DecodePredict consumes a predict *http.Response (from PredictRaw) into
+// the typed answer, handling both response encodings; non-200 statuses
+// decode into *APIError. It drains and closes the body either way.
+func DecodePredict(resp *http.Response) (*api.PredictResponse, error) {
 	defer drain(resp.Body)
 	if resp.StatusCode != http.StatusOK {
 		return nil, decodeError(resp)
@@ -177,6 +246,9 @@ func (c *Client) predictBody(ctx context.Context, model string, body []byte, con
 	var pr api.PredictResponse
 	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
 		return nil, fmt.Errorf("client: decoding predict response: %w", err)
+	}
+	if pr.Backend == "" {
+		pr.Backend = resp.Header.Get(api.HeaderBackend)
 	}
 	return &pr, nil
 }
@@ -197,6 +269,7 @@ func decodeTensorPrediction(resp *http.Response) (*api.PredictResponse, error) {
 		Model:     resp.Header.Get(api.HeaderModel),
 		Params:    api.Params{OmegaM: t.F64[0], Sigma8: t.F64[1], NS: t.F64[2]},
 		RequestID: resp.Header.Get(api.HeaderRequestID),
+		Backend:   resp.Header.Get(api.HeaderBackend),
 	}
 	for i := 0; i < 3; i++ {
 		// The server widened float32 → float64 (exact); narrowing back

@@ -1,0 +1,117 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+// fuzzFrame builds a well-formed frame for the seed corpus.
+func fuzzFrame(t testing.TB, dtype DType, dims []int, f32 []float32, f64 []float64) []byte {
+	t.Helper()
+	var tt *Tensor
+	var err error
+	if dtype == Float32 {
+		tt, err = FromFloat32(dims, f32)
+	} else {
+		tt, err = FromFloat64(dims, f64)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tt.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadTensor throws arbitrary bytes at the decoder. The invariants:
+// ReadTensor never panics, every accepted frame satisfies its own header
+// (dims product matches the payload length, dtype valid, EncodedSize is
+// exactly the input length — self-delimiting means no slack), accepted
+// frames re-encode to the identical bytes (the format is canonical), and
+// the byte budget is honored: a frame larger than maxBytes must come back
+// ErrTooLarge, never decoded data.
+func FuzzReadTensor(f *testing.F) {
+	f.Add(fuzzFrame(f, Float32, []int{1, 2, 2, 2}, make([]float32, 8), nil))
+	f.Add(fuzzFrame(f, Float64, []int{2, 3}, nil, []float64{1, 2, 3, 4, 5, 6}))
+	f.Add(fuzzFrame(f, Float32, []int{1}, []float32{3.14}, nil))
+	// Truncated header, truncated dims, truncated payload.
+	f.Add([]byte("CFT1"))
+	f.Add([]byte{'C', 'F', 'T', '1', 1, 1, 2, 0, 4, 0, 0, 0})
+	f.Add(fuzzFrame(f, Float32, []int{4}, make([]float32, 4), nil)[:14])
+	// Trailing byte after a valid frame.
+	f.Add(append(fuzzFrame(f, Float32, []int{1}, []float32{1}, nil), 0))
+	// Bad magic / version / dtype.
+	f.Add([]byte{'X', 'F', 'T', '1', 1, 1, 1, 0, 1, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{'C', 'F', 'T', '1', 9, 1, 1, 0, 1, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{'C', 'F', 'T', '1', 1, 7, 1, 0, 1, 0, 0, 0, 0, 0, 0, 0})
+	// Dims abuse: zero dim, ndims out of range, giant dims that overflow
+	// the element-count guard, header claiming far more than the budget.
+	f.Add([]byte{'C', 'F', 'T', '1', 1, 1, 1, 0, 0, 0, 0, 0})
+	f.Add([]byte{'C', 'F', 'T', '1', 1, 1, 9, 0})
+	hugeDims := []byte{'C', 'F', 'T', '1', 1, 1, 8, 0}
+	for i := 0; i < 8; i++ {
+		hugeDims = binary.LittleEndian.AppendUint32(hugeDims, 0xffffffff)
+	}
+	f.Add(hugeDims)
+	f.Add([]byte{'C', 'F', 'T', '1', 1, 2, 1, 0, 0xff, 0xff, 0xff, 0x0f})
+
+	const budget = 1 << 16
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tt, err := ReadTensor(bytes.NewReader(data), budget)
+		if err != nil {
+			// Rejections must be classified: a format error or a size cap,
+			// never a raw io error surfacing unwrapped (and never a panic,
+			// which the harness catches for us).
+			if !errors.Is(err, ErrFormat) && !errors.Is(err, ErrTooLarge) {
+				t.Fatalf("unclassified decode error: %v", err)
+			}
+			return
+		}
+		if len(data) > budget {
+			t.Fatalf("accepted %d bytes past the %d budget", len(data), budget)
+		}
+		// Header invariants on the accepted tensor.
+		n := tt.NumElements()
+		switch tt.DType {
+		case Float32:
+			if len(tt.F32) != n || tt.F64 != nil {
+				t.Fatalf("float32 payload %d/%d, F64 %v", len(tt.F32), n, tt.F64 != nil)
+			}
+		case Float64:
+			if len(tt.F64) != n || tt.F32 != nil {
+				t.Fatalf("float64 payload %d/%d, F32 %v", len(tt.F64), n, tt.F32 != nil)
+			}
+		default:
+			t.Fatalf("accepted unknown dtype %v", tt.DType)
+		}
+		if tt.EncodedSize() != len(data) {
+			t.Fatalf("EncodedSize %d != accepted input length %d", tt.EncodedSize(), len(data))
+		}
+		// Canonical round-trip: re-encoding reproduces the input bytes.
+		var buf bytes.Buffer
+		if _, err := tt.WriteTo(&buf); err != nil {
+			t.Fatalf("re-encode of accepted frame failed: %v", err)
+		}
+		if !bytes.Equal(buf.Bytes(), data) {
+			t.Fatalf("re-encode differs from accepted input:\nin  %x\nout %x", data, buf.Bytes())
+		}
+		// PeekHeader must agree with the full decode.
+		dtype, dims, off, err := PeekHeader(data)
+		if err != nil {
+			t.Fatalf("PeekHeader rejected an accepted frame: %v", err)
+		}
+		if dtype != tt.DType || len(dims) != len(tt.Dims) || off != 8+4*len(dims) {
+			t.Fatalf("PeekHeader (%v %v %d) disagrees with ReadTensor (%v %v)",
+				dtype, dims, off, tt.DType, tt.Dims)
+		}
+		for i := range dims {
+			if dims[i] != tt.Dims[i] {
+				t.Fatalf("PeekHeader dims %v != %v", dims, tt.Dims)
+			}
+		}
+	})
+}

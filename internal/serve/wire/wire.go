@@ -154,16 +154,12 @@ const chunkElems = 1024
 // must have been built by FromFloat32/FromFloat64 or decoded by ReadTensor
 // (i.e. dims valid and payload length matching).
 func (t *Tensor) WriteTo(w io.Writer) (int64, error) {
-	var hdr [8 + 4*MaxDims]byte
-	copy(hdr[:4], magic[:])
-	hdr[4] = Version
-	hdr[5] = uint8(t.DType)
-	binary.LittleEndian.PutUint16(hdr[6:8], uint16(len(t.Dims)))
-	for i, d := range t.Dims {
-		binary.LittleEndian.PutUint32(hdr[8+4*i:], uint32(d))
+	var hdrBuf [8 + 4*MaxDims]byte
+	hdr, err := EncodeHeader(hdrBuf[:0], t.DType, t.Dims)
+	if err != nil {
+		return 0, err
 	}
-	n := 8 + 4*len(t.Dims)
-	written, err := writeFull(w, hdr[:n])
+	written, err := writeFull(w, hdr)
 	if err != nil {
 		return written, err
 	}
@@ -291,6 +287,75 @@ func ReadTensor(r io.Reader, maxBytes int64) (*Tensor, error) {
 	default:
 		return nil, readErr("trailer", err)
 	}
+}
+
+// EncodeHeader appends the frame header for a dtype/dims pair to dst and
+// returns the extended slice. Together with PeekHeader it lets a proxy
+// re-frame a payload (e.g. slice one volume out of a batch frame) by
+// splicing raw payload bytes after a fresh header, never converting
+// elements — which is how the gateway's scatter path stays bit-exact.
+func EncodeHeader(dst []byte, dtype DType, dims []int) ([]byte, error) {
+	if dtype.Size() == 0 {
+		return nil, fmt.Errorf("%w: %v", ErrFormat, dtype)
+	}
+	if len(dims) < 1 || len(dims) > MaxDims {
+		return nil, fmt.Errorf("%w: %d dims (want 1..%d)", ErrFormat, len(dims), MaxDims)
+	}
+	var hdr [8 + 4*MaxDims]byte
+	copy(hdr[:4], magic[:])
+	hdr[4] = Version
+	hdr[5] = uint8(dtype)
+	binary.LittleEndian.PutUint16(hdr[6:8], uint16(len(dims)))
+	for i, d := range dims {
+		if d < 1 || d > math.MaxUint32 {
+			return nil, fmt.Errorf("%w: dim %d out of range", ErrFormat, d)
+		}
+		binary.LittleEndian.PutUint32(hdr[8+4*i:], uint32(d))
+	}
+	return append(dst, hdr[:8+4*len(dims)]...), nil
+}
+
+// PeekHeader parses just the frame header from b — magic, version, dtype,
+// dims — without touching the payload, and returns the payload's byte
+// offset. b may be a prefix of the frame as long as it covers the header.
+// The gateway uses this to make routing decisions (single volume versus
+// scatter-gather batch) on the raw body it forwards, so proxied bytes are
+// never decoded and re-encoded.
+func PeekHeader(b []byte) (dtype DType, dims []int, payloadOff int, err error) {
+	if len(b) < 8 {
+		return 0, nil, 0, fmt.Errorf("%w: truncated header", ErrFormat)
+	}
+	if [4]byte(b[:4]) != magic {
+		return 0, nil, 0, fmt.Errorf("%w: bad magic %q", ErrFormat, b[:4])
+	}
+	if b[4] != Version {
+		return 0, nil, 0, fmt.Errorf("%w: unsupported version %d (have %d)", ErrFormat, b[4], Version)
+	}
+	dtype = DType(b[5])
+	if dtype.Size() == 0 {
+		return 0, nil, 0, fmt.Errorf("%w: unknown dtype %d", ErrFormat, b[5])
+	}
+	ndims := int(binary.LittleEndian.Uint16(b[6:8]))
+	if ndims < 1 || ndims > MaxDims {
+		return 0, nil, 0, fmt.Errorf("%w: %d dims (want 1..%d)", ErrFormat, ndims, MaxDims)
+	}
+	if len(b) < 8+4*ndims {
+		return 0, nil, 0, fmt.Errorf("%w: truncated dims", ErrFormat)
+	}
+	dims = make([]int, ndims)
+	elems := uint64(1)
+	for i := range dims {
+		d := binary.LittleEndian.Uint32(b[8+4*i:])
+		if d == 0 {
+			return 0, nil, 0, fmt.Errorf("%w: zero dim at index %d", ErrFormat, i)
+		}
+		dims[i] = int(d)
+		if elems > math.MaxInt64/8/uint64(d) {
+			return 0, nil, 0, fmt.Errorf("%w: dims %v overflow", ErrTooLarge, dims[:i+1])
+		}
+		elems *= uint64(d)
+	}
+	return dtype, dims, 8 + 4*ndims, nil
 }
 
 // readErr wraps a transport failure mid-frame. A clean EOF inside the

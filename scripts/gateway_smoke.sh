@@ -1,0 +1,139 @@
+#!/bin/sh
+# End-to-end smoke of the cluster serving tier: 3 cosmoflow-serve
+# backends behind one cosmoflow-gateway. Asserts the gateway readiness
+# contract (/healthz 503 until every model has a ready backend), predict
+# over both encodings with bit-identity against a direct backend hit,
+# the per-backend spread header, lifecycle fan-out (PUT/DELETE broadcast
+# to every member), and the acceptance criterion: killing one backend
+# under load causes zero client-visible failures — retries cover the
+# in-flight losses and ejection removes the dead member. Invoked by
+# `make gateway-smoke`, which builds the three binaries first.
+set -eu
+
+SERVE_BIN=${SERVE_BIN:-/tmp/cosmoflow-serve}
+GATEWAY_BIN=${GATEWAY_BIN:-/tmp/cosmoflow-gateway}
+LOADGEN_BIN=${LOADGEN_BIN:-/tmp/cosmoflow-loadgen}
+GW_ADDR=127.0.0.1:18090
+GW=http://$GW_ADDR
+B1=http://127.0.0.1:18091
+B2=http://127.0.0.1:18092
+B3=http://127.0.0.1:18093
+TMP=$(mktemp -d)
+
+# All three backends serve fresh weights from the same fixed topology
+# seed, so the pool is weight-identical — the property the bit-identity
+# check below depends on (mirrors a real deployment sharing a checkpoint).
+"$SERVE_BIN" -addr 127.0.0.1:18091 -dim 16 -base 4 -replicas 2 & P1=$!
+"$SERVE_BIN" -addr 127.0.0.1:18092 -dim 16 -base 4 -replicas 2 & P2=$!
+"$SERVE_BIN" -addr 127.0.0.1:18093 -dim 16 -base 4 -replicas 2 & P3=$!
+"$GATEWAY_BIN" -addr "$GW_ADDR" -backends "$B1,$B2,$B3" \
+    -probe-interval 200ms -eject-after 2 -readmit-after 1s & GWPID=$!
+
+cleanup() {
+    kill -TERM "$GWPID" "$P1" "$P2" "$P3" 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+# Readiness: the gateway 503s until its probes see every model ready on
+# at least one backend — the same poll serve-smoke uses against a single
+# daemon.
+ready=0
+for _ in $(seq 1 150); do
+    if curl -sf "$GW/healthz" >/dev/null 2>&1; then ready=1; break; fi
+    sleep 0.2
+done
+[ "$ready" = 1 ] || { echo "FAIL: gateway never became ready"; exit 1; }
+
+expect() {
+    want=$1; shift
+    got=$(curl -s -o "$TMP/body" -w '%{http_code}' "$@") || {
+        echo "FAIL: curl $* errored"; exit 1; }
+    if [ "$got" != "$want" ]; then
+        echo "FAIL: want $want got $got: curl $*"
+        cat "$TMP/body"; echo
+        exit 1
+    fi
+}
+
+"$LOADGEN_BIN" -dump-body "$TMP/req.json" -wire json -dim 16 >/dev/null
+"$LOADGEN_BIN" -dump-body "$TMP/req.bin" -wire binary -dim 16 >/dev/null
+
+# Predict through the gateway, both encodings, and the pool-wide model
+# list.
+expect 200 "$GW/v1/models"
+grep -q '"state":"ready"' "$TMP/body" || { echo "FAIL: default model not ready in aggregate list"; exit 1; }
+expect 200 -X POST -H 'Content-Type: application/json' \
+    --data-binary @"$TMP/req.json" "$GW/v1/models/default:predict"
+grep -q '"omega_m"' "$TMP/body" || { echo "FAIL: JSON predict body"; exit 1; }
+expect 200 -X POST -H 'Content-Type: application/x-cosmoflow-tensor' \
+    -H 'Accept: application/x-cosmoflow-tensor' \
+    --data-binary @"$TMP/req.bin" "$GW/v1/models/default:predict"
+head -c 4 "$TMP/body" | grep -q 'CFT1' || { echo "FAIL: binary response not a tensor frame"; exit 1; }
+
+# Bit-identity: the binary response frame through the gateway must equal
+# the frame a direct backend hit produces (the frame carries only the
+# deterministic params + normalized outputs).
+curl -s -o "$TMP/direct.bin" -X POST -H 'Content-Type: application/x-cosmoflow-tensor' \
+    -H 'Accept: application/x-cosmoflow-tensor' \
+    --data-binary @"$TMP/req.bin" "$B1/v1/models/default:predict"
+curl -s -o "$TMP/gw.bin" -X POST -H 'Content-Type: application/x-cosmoflow-tensor' \
+    -H 'Accept: application/x-cosmoflow-tensor' \
+    --data-binary @"$TMP/req.bin" "$GW/v1/models/default:predict"
+cmp -s "$TMP/direct.bin" "$TMP/gw.bin" || {
+    echo "FAIL: binary predict through gateway is not bit-identical to direct"; exit 1; }
+
+# Same check on the JSON path, comparing the deterministic fields (the
+# full body also carries per-request latency).
+curl -s -X POST -H 'Content-Type: application/json' --data-binary @"$TMP/req.json" \
+    "$B1/v1/models/default:predict" | grep -o '"params":{[^}]*}' > "$TMP/direct.params"
+curl -s -X POST -H 'Content-Type: application/json' --data-binary @"$TMP/req.json" \
+    "$GW/v1/models/default:predict" | grep -o '"params":{[^}]*}' > "$TMP/gw.params"
+[ -s "$TMP/direct.params" ] && cmp -s "$TMP/direct.params" "$TMP/gw.params" || {
+    echo "FAIL: JSON params through gateway differ from direct"; exit 1; }
+
+# Every proxied answer names the member that served it.
+curl -s -o /dev/null -D "$TMP/hdrs" -X POST -H 'Content-Type: application/json' \
+    --data-binary @"$TMP/req.json" "$GW/v1/models/default:predict"
+grep -iq '^x-cosmoflow-backend:' "$TMP/hdrs" || {
+    echo "FAIL: X-Cosmoflow-Backend header missing"; cat "$TMP/hdrs"; exit 1; }
+
+# Lifecycle fan-out: one PUT converges the whole pool, one DELETE clears
+# it.
+expect 200 -X PUT -H 'Content-Type: application/json' \
+    --data '{"input_dim":16,"base_channels":2,"replicas":1}' "$GW/v1/models/alt"
+for b in "$B1" "$B2" "$B3"; do
+    expect 200 "$b/v1/models/alt"
+done
+expect 200 -X POST -H 'Content-Type: application/json' \
+    --data-binary @"$TMP/req.json" "$GW/v1/models/alt:predict"
+expect 200 -X DELETE "$GW/v1/models/alt"
+for b in "$B1" "$B2" "$B3"; do
+    expect 404 "$b/v1/models/alt"
+done
+
+# The acceptance run: kill one of three backends mid-load; the loadgen
+# must finish with zero failed requests (gateway retries cover in-flight
+# losses, ejection stops new traffic to the corpse).
+"$LOADGEN_BIN" -addr "$GW" -n 400 -c 8 -dim 16 -wire binary > "$TMP/load.out" 2>&1 & LG=$!
+sleep 0.5
+kill -9 "$P3" 2>/dev/null || true
+if ! wait "$LG"; then
+    echo "FAIL: loadgen reported failed requests after backend kill"
+    cat "$TMP/load.out"
+    exit 1
+fi
+cat "$TMP/load.out"
+grep -q '(0 failed)' "$TMP/load.out" || { echo "FAIL: expected 0 failed requests"; exit 1; }
+grep -q 'backend spread:' "$TMP/load.out" || { echo "FAIL: no per-backend spread reported"; exit 1; }
+
+# Post-kill state: the pool keeps serving (healthz 200 on the survivors)
+# and the dead member reads ejected in the aggregated stats.
+expect 200 "$GW/healthz"
+sleep 1
+expect 200 "$GW/stats"
+grep -q '"state":"ejected"' "$TMP/body" || {
+    echo "FAIL: killed backend not ejected in /stats"; cat "$TMP/body"; exit 1; }
+
+echo "gateway-smoke OK"
