@@ -5,11 +5,11 @@
 
 GO ?= go
 
-.PHONY: check ci fmt vet build test race bench bench-smoke serve-smoke api-smoke dist-smoke fuzz-smoke gateway-smoke
+.PHONY: check ci fmt vet build test race bench bench-smoke serve-smoke api-smoke dist-smoke fuzz-smoke gateway-smoke bench-json bench-compare
 
 check: fmt vet build test
 
-ci: fmt vet build test race fuzz-smoke bench-smoke serve-smoke api-smoke dist-smoke gateway-smoke
+ci: fmt vet build test race fuzz-smoke bench-smoke serve-smoke api-smoke dist-smoke gateway-smoke bench-json bench-compare
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -75,6 +75,25 @@ api-smoke:
 dist-smoke:
 	$(GO) build -o /tmp/cosmoflow-train ./cmd/cosmoflow-train
 	sh scripts/dist_smoke.sh
+
+# Benchmark trajectory: collect one BENCH_<area>.json per area (kernel,
+# dist, serve, gateway) under bench/out with the common cosmoflow-bench/v1
+# schema (scripts/bench_collect.sh), then gate against the committed
+# bench/baseline. BENCH_THRESHOLD is the regression tolerance in percent —
+# 5 locally; CI uses a higher value because the committed baselines were
+# collected on a different machine class.
+BENCH_THRESHOLD ?= 5
+
+bench-json:
+	$(GO) build -o /tmp/cosmoflow-bench ./cmd/cosmoflow-bench
+	$(GO) build -o /tmp/cosmoflow-serve ./cmd/cosmoflow-serve
+	$(GO) build -o /tmp/cosmoflow-gateway ./cmd/cosmoflow-gateway
+	$(GO) build -o /tmp/cosmoflow-loadgen ./cmd/cosmoflow-loadgen
+	sh scripts/bench_collect.sh
+
+bench-compare:
+	$(GO) build -o /tmp/cosmoflow-benchdiff ./cmd/cosmoflow-benchdiff
+	/tmp/cosmoflow-benchdiff -baseline bench/baseline -current bench/out -threshold $(BENCH_THRESHOLD)
 
 # Cluster serving smoke: 3 backends + gateway, predict over both
 # encodings (bit-identity against a direct backend), lifecycle fan-out,

@@ -24,6 +24,7 @@ import (
 	"repro/internal/hpcsim"
 	"repro/internal/iopipe"
 	"repro/internal/nn"
+	"repro/internal/obsv"
 	"repro/internal/optim"
 	"repro/internal/parallel"
 	"repro/internal/serve"
@@ -493,6 +494,48 @@ func BenchmarkInferBatch_Scaling(b *testing.B) {
 			b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
 		})
 	}
+}
+
+// BenchmarkInferBatch_TraceOverhead prices the obsv forward trace against
+// the untraced batched path (same network and batch as the B=4 scaling
+// point). The "off" case is the acceptance criterion: with no trace
+// attached the instrumented code must cost <2% versus the seed — it pays
+// one nil check per forward, never a clock read. "on" shows the opt-in
+// price of per-layer timing (two clock reads per layer plus atomic span
+// updates), which /v1/trace buyers accept knowingly.
+func BenchmarkInferBatch_TraceOverhead(b *testing.B) {
+	const batch = 4
+	pool := parallel.NewPool(0)
+	defer pool.Close()
+	net, err := nn.BuildCosmoFlow(nn.TopologyConfig{
+		InputDim: 16, BaseChannels: 16, Seed: 1, Pool: pool,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	xs := make([]*tensor.Tensor, batch)
+	for i := range xs {
+		xs[i] = tensor.New(net.InputShape()...)
+		xs[i].RandNormal(rng, 0, 1)
+	}
+	net.InferBatch(xs) // warm packed weights and the buffer pool
+
+	for _, mode := range []string{"off", "on"} {
+		b.Run(mode, func(b *testing.B) {
+			if mode == "on" {
+				net.SetTrace(obsv.NewForwardTrace(net.LayerNames()))
+			} else {
+				net.SetTrace(nil)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				net.InferBatch(xs)
+			}
+			b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "samples/s")
+		})
+	}
+	net.SetTrace(nil)
 }
 
 // BenchmarkInferBatch_VsSequentialLoop pits one InferBatch forward of B=4

@@ -6,6 +6,14 @@
 //
 //	cosmoflow-bench             # scaled-down 32³ network
 //	cosmoflow-bench -dim 128 -base 16 -iters 1   # the paper's full size
+//	cosmoflow-bench -json BENCH_kernel.json      # machine-readable report
+//	cosmoflow-bench -area dist -json BENCH_dist.json
+//
+// With -json the run also writes a benchmark-trajectory report
+// (obsv.Report: git SHA, timestamp, metric→value map) to the given path;
+// -area selects what is measured: "kernel" (default) is the Table-I
+// per-layer sweep, "dist" times the comm collectives over in-process
+// worlds through the obsv recorder.
 package main
 
 import (
@@ -14,9 +22,12 @@ import (
 	"log"
 	"math/rand"
 	"runtime"
+	"sync"
 	"time"
 
+	"repro/internal/comm"
 	"repro/internal/nn"
+	"repro/internal/obsv"
 	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
@@ -29,19 +40,48 @@ func main() {
 	base := flag.Int("base", 16, "base channel count (16 = paper)")
 	iters := flag.Int("iters", 3, "timing iterations per operator")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "compute threads")
+	area := flag.String("area", "kernel", "benchmark area: kernel (Table-I conv sweep) or dist (comm collectives)")
+	jsonPath := flag.String("json", "", "also write an obsv benchmark report to this path (empty: stdout only)")
 	flag.Parse()
 
-	pool := parallel.NewPool(*workers)
+	var rep *obsv.Report
+	switch *area {
+	case "kernel":
+		rep = benchKernel(*dim, *base, *iters, *workers)
+	case "dist":
+		rep = benchDist(*iters)
+	default:
+		log.Fatalf("unknown -area %q (want kernel or dist)", *area)
+	}
+	if *jsonPath != "" {
+		if err := rep.WriteFile(*jsonPath); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s (%d metrics, sha %s)", *jsonPath, len(rep.Metrics), rep.GitSHA)
+	}
+}
+
+// benchKernel is the Table-I analogue: per-conv-layer fwd/bwd timings and
+// throughputs, printed as the familiar table and accumulated into the
+// kernel-area report.
+func benchKernel(dim, base, iters, workers int) *obsv.Report {
+	pool := parallel.NewPool(workers)
 	defer pool.Close()
 	net, err := nn.BuildCosmoFlow(nn.TopologyConfig{
-		InputDim: *dim, BaseChannels: *base, Seed: 1, Pool: pool,
+		InputDim: dim, BaseChannels: base, Seed: 1, Pool: pool,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	rep := obsv.NewReport("kernel")
+	rep.Config["dim"] = fmt.Sprint(dim)
+	rep.Config["base"] = fmt.Sprint(base)
+	rep.Config["iters"] = fmt.Sprint(iters)
+	rep.Config["workers"] = fmt.Sprint(workers)
+
 	fmt.Printf("Table I analogue: conv layer performance (%d³ input, base %d, %d threads)\n\n",
-		*dim, *base, *workers)
+		dim, base, workers)
 	fmt.Printf("%-8s %10s %10s %10s %9s %9s %9s\n",
 		"layer", "fwd(ms)", "bww+bwd", "total(ms)", "fwdGF/s", "bwdGF/s", "shape")
 
@@ -64,7 +104,7 @@ func main() {
 		dy.RandNormal(rng, 0, 1)
 
 		var fwd, bwd time.Duration
-		for i := 0; i < *iters; i++ {
+		for i := 0; i < iters; i++ {
 			start := time.Now()
 			conv.Forward(x)
 			fwd += time.Since(start)
@@ -72,14 +112,16 @@ func main() {
 			conv.Backward(dy)
 			bwd += time.Since(start)
 		}
-		fwd /= time.Duration(*iters)
-		bwd /= time.Duration(*iters)
+		fwd /= time.Duration(iters)
+		bwd /= time.Duration(iters)
 		fFwd := conv.FwdFLOPs(shape)
 		fBwd := conv.BwdFLOPs(shape)
 		fmt.Printf("%-8s %10.2f %10.2f %10.2f %9.2f %9.2f   %v\n",
 			conv.Name(),
 			ms(fwd), ms(bwd), ms(fwd+bwd),
 			gflops(fFwd, fwd), gflops(fBwd, bwd), outShape)
+		rep.SetLower(conv.Name()+"_fwd_ms", ms(fwd), "ms")
+		rep.SetLower(conv.Name()+"_bwd_ms", ms(bwd), "ms")
 		totFwd += fwd
 		totBwd += bwd
 		totFwdF += fFwd
@@ -91,6 +133,69 @@ func main() {
 		gflops(totFwdF, totFwd), gflops(totBwdF, totBwd))
 	fmt.Println("\npaper (KNL, 128³, MKL-DNN): fwd 8.62 ms total at 2.47 TF/s;" +
 		" large layers dominate, conv2 most expensive — compare relative shape, not absolute rates")
+
+	rep.SetLower("total_fwd_ms", ms(totFwd), "ms")
+	rep.SetLower("total_bwd_ms", ms(totBwd), "ms")
+	rep.SetHigher("total_fwd_gflops", gflops(totFwdF, totFwd), "GF/s")
+	rep.SetHigher("total_bwd_gflops", gflops(totBwdF, totBwd), "GF/s")
+	return rep
+}
+
+// benchDist times the comm collectives over in-process worlds (sizes 2 and
+// 4, ring algorithm) through the obsv recorder — the same per-collective
+// spans internal/dist attaches over TCP, here exercised deterministically
+// for the trajectory.
+func benchDist(iters int) *obsv.Report {
+	const elems = 1 << 18 // 1 MiB of float32 per rank, a gradient-sized chunk
+	rep := obsv.NewReport("dist")
+	rep.Config["elems"] = fmt.Sprint(elems)
+	rep.Config["iters"] = fmt.Sprint(iters)
+	rep.Config["algorithm"] = comm.Ring.String()
+
+	fmt.Printf("comm collectives (%d float32 elems, %d iters, ring)\n\n", elems, iters)
+	fmt.Printf("%-16s %6s %10s %10s %10s\n", "collective", "ranks", "calls", "avg(ms)", "max(ms)")
+	for _, n := range []int{2, 4} {
+		rec := obsv.NewRecorder()
+		world, err := comm.NewWorld(n, comm.WithRecorder(rec))
+		if err != nil {
+			log.Fatal(err)
+		}
+		runCollectives(world, elems, iters)
+		for _, st := range rec.Snapshot() {
+			fmt.Printf("%-16s %6d %10d %10.3f %10.3f\n", st.Name, n, st.Count, st.AvgMs, st.MaxMs)
+			rep.SetLower(fmt.Sprintf("%s_n%d_avg_ms", st.Name, n), st.AvgMs, "ms")
+		}
+	}
+	return rep
+}
+
+// runCollectives drives every timed collective iters times across all
+// ranks of an in-process world.
+func runCollectives(w *comm.World, elems, iters int) {
+	comms := w.Comms()
+	for it := 0; it < iters; it++ {
+		var wg sync.WaitGroup
+		for _, c := range comms {
+			wg.Add(1)
+			go func(c *comm.Comm) {
+				defer wg.Done()
+				buf := make([]float32, elems)
+				for i := range buf {
+					buf[i] = float32(c.Rank() + i)
+				}
+				c.AllReduceSum(buf)
+				c.Broadcast(buf[:elems/2], 0)
+				rs := make([]float32, elems)
+				copy(rs, buf)
+				c.ReduceScatterSum(rs)
+				local := buf[:elems/c.Size()]
+				out := make([]float32, len(local)*c.Size())
+				c.AllGather(local, out)
+				c.Barrier()
+			}(c)
+		}
+		wg.Wait()
+	}
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,45 @@
+// Command cosmoflow-benchdiff compares a directory of current
+// BENCH_<area>.json benchmark reports against the committed baseline and
+// exits non-zero when any metric regressed past the threshold — the CI
+// gate of the benchmark trajectory (see DESIGN.md "Observability").
+//
+// Usage:
+//
+//	cosmoflow-benchdiff -baseline bench/baseline -current bench/out [-threshold 5]
+//
+// A metric regresses when it moves in its worse direction (each metric
+// carries its own better=higher|lower direction) by more than -threshold
+// percent, or when it — or a whole area's report — vanished from the
+// current run. Metrics new in the current run are ignored; refreshing the
+// baseline picks them up.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/obsv"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cosmoflow-benchdiff: ")
+
+	baseline := flag.String("baseline", "bench/baseline", "directory of committed baseline BENCH_*.json reports")
+	current := flag.String("current", "bench/out", "directory of freshly collected BENCH_*.json reports")
+	threshold := flag.Float64("threshold", 5, "regression threshold in percent")
+	flag.Parse()
+
+	table, regressed, err := obsv.CompareDirs(*baseline, *current, *threshold)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(table)
+	if regressed {
+		fmt.Printf("FAIL: regression(s) beyond %.1f%% (lines marked !!)\n", *threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("OK: no regression beyond %.1f%%\n", *threshold)
+}

@@ -29,6 +29,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -37,6 +38,24 @@ import (
 
 	"repro/internal/gateway"
 )
+
+// startDebugListener serves net/http/pprof on its own listener, so
+// profiling never shares a port (or a mux) with the proxy API. Off by
+// default; see DESIGN.md "Observability".
+func startDebugListener(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		log.Printf("pprof debug listener on %s", addr)
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			log.Printf("debug listener: %v", err)
+		}
+	}()
+}
 
 func main() {
 	log.SetFlags(0)
@@ -55,10 +74,15 @@ func main() {
 	hedgePct := flag.Float64("hedge-pct", 0, "tail-latency hedge percentile (e.g. 95; 0 disables)")
 	hedgeMin := flag.Duration("hedge-min", 10*time.Millisecond, "hedge delay floor")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
+	trace := flag.Bool("trace", false, "record per-request phase attribution and per-backend upstream spans (GET /v1/trace)")
+	debugAddr := flag.String("debug-addr", "", "pprof debug listen address, e.g. localhost:6061 (empty: disabled)")
 	flag.Parse()
 
 	if *backends == "" {
 		log.Fatal("-backends is required (comma-separated cosmoflow-serve base URLs)")
+	}
+	if *debugAddr != "" {
+		startDebugListener(*debugAddr)
 	}
 	gw, err := gateway.New(gateway.Config{
 		Backends:        strings.Split(*backends, ","),
@@ -71,6 +95,7 @@ func main() {
 		Retries:         *retries,
 		HedgePercentile: *hedgePct,
 		HedgeMin:        *hedgeMin,
+		Trace:           *trace,
 	})
 	if err != nil {
 		log.Fatal(err)

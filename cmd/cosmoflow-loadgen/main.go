@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/cosmo"
+	"repro/internal/obsv"
 	"repro/internal/serve/client"
 )
 
@@ -173,6 +174,8 @@ func main() {
 	wireFlag := flag.String("wire", "binary", "request/response encoding: json or binary")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request round-trip cap")
 	dumpBody := flag.String("dump-body", "", "write one encoded request body to FILE and exit")
+	jsonPath := flag.String("json", "", "also write an obsv benchmark report to this path (empty: stdout only)")
+	benchArea := flag.String("bench-area", "serve", "report area recorded with -json: serve or gateway")
 	flag.Parse()
 	if *n < 1 || *c < 1 {
 		log.Fatal("-n and -c must be positive")
@@ -237,6 +240,26 @@ func main() {
 		client.WithEncoding(enc),
 		client.WithTimeout(*timeout))
 
+	var rep *obsv.Report
+	if *jsonPath != "" {
+		if *benchArea != "serve" && *benchArea != "gateway" {
+			log.Fatalf("unknown -bench-area %q (want serve or gateway)", *benchArea)
+		}
+		rep = obsv.NewReport(*benchArea)
+		rep.Config["n"] = strconv.Itoa(*n)
+		rep.Config["dim"] = strconv.Itoa(*dim)
+		rep.Config["wire"] = string(enc)
+	}
+	writeReport := func() {
+		if rep == nil {
+			return
+		}
+		if err := rep.WriteFile(*jsonPath); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %s (%d metrics, sha %s)", *jsonPath, len(rep.Metrics), rep.GitSHA)
+	}
+
 	if len(levels) > 0 {
 		// Concurrency sweep: one table row per level, a shared request
 		// pool, and the pooled transport warm across levels — the shape
@@ -244,7 +267,7 @@ func main() {
 		fmt.Printf("sweep:       %d requests per level, encoding %s (%d-byte bodies)\n",
 			*n, enc, len(bodies[0].data))
 		fmt.Printf("%4s  %10s  %10s  %10s  %10s  %10s  %6s\n",
-			"c", "qps", "mean", "p50", "p90", "p99", "fails")
+			"c", "qps", "mean", "p50", "p90", "p99", "errors")
 		var totalFails int64
 		for _, lvl := range levels {
 			r := runLoad(cl, *model, bodies, *n, lvl)
@@ -257,7 +280,11 @@ func main() {
 				r.quantile(0.99).Round(time.Microsecond),
 				r.failures)
 			printSpread(r)
+			if rep != nil {
+				addRunMetrics(rep, fmt.Sprintf("_c%d", lvl), r)
+			}
 		}
+		writeReport()
 		if totalFails > 0 {
 			os.Exit(1)
 		}
@@ -277,7 +304,23 @@ func main() {
 			r.quantile(0.99).Round(time.Microsecond), r.ok[len(r.ok)-1].Round(time.Microsecond))
 	}
 	printSpread(r)
+	if rep != nil {
+		rep.Config["c"] = strconv.Itoa(*c)
+		addRunMetrics(rep, "", r)
+	}
+	writeReport()
 	if r.failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// addRunMetrics folds one closed-loop run into the trajectory report;
+// suffix distinguishes sweep levels ("_c8").
+func addRunMetrics(rep *obsv.Report, suffix string, r runResult) {
+	msOf := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	rep.SetHigher("qps"+suffix, r.qps(), "req/s")
+	rep.SetLower("mean_ms"+suffix, msOf(r.mean()), "ms")
+	rep.SetLower("p50_ms"+suffix, msOf(r.quantile(0.50)), "ms")
+	rep.SetLower("p99_ms"+suffix, msOf(r.quantile(0.99)), "ms")
+	rep.SetLower("errors"+suffix, float64(r.failures), "count")
 }

@@ -33,6 +33,7 @@ import (
 	"flag"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -42,6 +43,24 @@ import (
 	"repro/internal/nn"
 	"repro/internal/serve"
 )
+
+// startDebugListener serves net/http/pprof on its own listener, so
+// profiling never shares a port (or a mux) with the serving API. Off by
+// default; see DESIGN.md "Observability".
+func startDebugListener(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		log.Printf("pprof debug listener on %s", addr)
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			log.Printf("debug listener: %v", err)
+		}
+	}()
+}
 
 func main() {
 	log.SetFlags(0)
@@ -58,8 +77,13 @@ func main() {
 	maxBatch := flag.Int("max-batch", 8, "micro-batch size cap")
 	maxDelay := flag.Duration("max-delay", 2*time.Millisecond, "micro-batch coalescing deadline")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
+	trace := flag.Bool("trace", false, "record per-layer forward timings (GET /v1/trace and the /stats layers section)")
+	debugAddr := flag.String("debug-addr", "", "pprof debug listen address, e.g. localhost:6060 (empty: disabled)")
 	flag.Parse()
 
+	if *debugAddr != "" {
+		startDebugListener(*debugAddr)
+	}
 	if *ckpt == "" {
 		log.Print("warning: no -ckpt given; serving freshly initialized weights")
 	}
@@ -80,6 +104,7 @@ func main() {
 		WorkersPerReplica: *workers,
 		MaxBatch:          *maxBatch,
 		MaxDelay:          *maxDelay,
+		Trace:             *trace,
 	})
 	go func() {
 		if err := <-loadDone; err != nil {

@@ -34,7 +34,18 @@
 // membership and circuit-breaker ejection, pluggable routing
 // (least-outstanding or consistent-hash-by-model), retry + tail-latency
 // hedging, scatter-gather batch predicts reassembled bit-identically in
-// order, and model-lifecycle fan-out with per-backend aggregation.
+// order, and model-lifecycle fan-out with per-backend aggregation. The
+// whole stack is threaded with the opt-in observability substrate
+// (internal/obsv): lock-free timing spans giving per-layer forward
+// breakdowns (GET /v1/trace and the /stats layers section on
+// cosmoflow-serve -trace), per-collective timings in comm/dist worlds
+// built WithRecorder, and per-request phase attribution on the gateway
+// (queue wait vs upstream vs gather, keyed by X-Request-Id), plus the
+// machine-readable benchmark trajectory — BENCH_<area>.json reports
+// (schema cosmoflow-bench/v1, git-SHA-stamped) collected by `make
+// bench-json` and gated against the committed bench/baseline by
+// cosmoflow-benchdiff (`make bench-compare`); net/http/pprof rides on a
+// separate -debug-addr listener on both daemons.
 //
 // See DESIGN.md for the system inventory, the "Serving API v1" contract
 // (routes, wire-format layout, versioning/deprecation policy), the
@@ -42,7 +53,8 @@
 // the scatter-gather bit-identity argument), and the CI pipeline
 // (.github/workflows/ci.yml, mirrored by `make ci`: fmt, vet, build,
 // test, race on the concurrency-bearing packages, the wire-codec fuzz
-// smoke, and the serving/API/dist/gateway smokes), EXPERIMENTS.md for the
+// smoke, the serving/API/dist/gateway smokes, and the bench-trajectory
+// regression gate), EXPERIMENTS.md for the
 // paper-versus-measured record of every table and figure, and
 // bench_test.go for the benchmark harness that regenerates them.
 package repro

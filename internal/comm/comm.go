@@ -19,7 +19,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/obsv"
 	"repro/internal/tensor"
 )
 
@@ -76,6 +78,15 @@ type World struct {
 	transports []Transport // per-rank; nil for ranks not local to this process
 	bytesSent  atomic.Int64
 	msgsSent   atomic.Int64
+
+	// Per-collective timing spans, pre-resolved from the recorder so the
+	// hot path never takes the recorder's lock; all nil when no recorder
+	// is attached (the default — collectives then pay one nil check each).
+	spAllReduce     *obsv.Span
+	spBroadcast     *obsv.Span
+	spBarrier       *obsv.Span
+	spAllGather     *obsv.Span
+	spReduceScatter *obsv.Span
 }
 
 // Option configures a World.
@@ -83,6 +94,24 @@ type Option func(*World)
 
 // WithAlgorithm selects the allreduce algorithm (default Ring).
 func WithAlgorithm(a Algorithm) Option { return func(w *World) { w.algorithm = a } }
+
+// WithRecorder attaches per-collective timing spans ("allreduce",
+// "broadcast", "barrier", "allgather", "reduce_scatter") to the world:
+// every rank-local collective call observes its wall time, whatever
+// transport carries it — the in-process channel mesh and the TCP world of
+// internal/dist alike. nil (the default) keeps the untimed path.
+func WithRecorder(rec *obsv.Recorder) Option {
+	return func(w *World) {
+		if rec == nil {
+			return
+		}
+		w.spAllReduce = rec.Span("allreduce")
+		w.spBroadcast = rec.Span("broadcast")
+		w.spBarrier = rec.Span("barrier")
+		w.spAllGather = rec.Span("allgather")
+		w.spReduceScatter = rec.Span("reduce_scatter")
+	}
+}
 
 // WithHelpers sets the helper-team count used to chunk large allreduces
 // (default 1; the paper uses 4 helper threads on Cori and 2 on Piz Daint,
@@ -213,8 +242,19 @@ func (c *Comm) recv(src, tag int) []float32 {
 	return buf
 }
 
+// observe records d into sp when a recorder is attached; the disabled path
+// is a single nil check per collective.
+func observe(sp *obsv.Span, t0 time.Time) {
+	if sp != nil {
+		sp.Observe(time.Since(t0))
+	}
+}
+
 // Barrier blocks until every rank has entered it (dissemination barrier).
 func (c *Comm) Barrier() {
+	if sp := c.world.spBarrier; sp != nil {
+		defer observe(sp, time.Now())
+	}
 	n := c.world.n
 	if n == 1 {
 		return
@@ -229,6 +269,9 @@ func (c *Comm) Barrier() {
 // Broadcast distributes root's buf to every rank in place using a binomial
 // tree, as the paper does for the initial model parameters (§V-A).
 func (c *Comm) Broadcast(buf []float32, root int) {
+	if sp := c.world.spBroadcast; sp != nil {
+		defer observe(sp, time.Now())
+	}
 	n := c.world.n
 	if n == 1 {
 		return
@@ -291,6 +334,9 @@ func (c *Comm) AllReduceSum(buf []float32) { c.allReduce(buf, opSum) }
 func (c *Comm) AllReduceMax(buf []float32) { c.allReduce(buf, opMax) }
 
 func (c *Comm) allReduce(buf []float32, op reduceOp) {
+	if sp := c.world.spAllReduce; sp != nil {
+		defer observe(sp, time.Now())
+	}
 	n := c.world.n
 	if n == 1 {
 		return
@@ -449,6 +495,9 @@ func (c *Comm) AllReduceScalar(v float64) float64 {
 // segment (whose bounds are returned) holds its portion of the global sum.
 // The rest of buf holds partial sums and must be treated as scratch.
 func (c *Comm) ReduceScatterSum(buf []float32) (lo, hi int) {
+	if sp := c.world.spReduceScatter; sp != nil {
+		defer observe(sp, time.Now())
+	}
 	n := c.world.n
 	if n == 1 {
 		return 0, len(buf)
@@ -473,6 +522,9 @@ func (c *Comm) ReduceScatterSum(buf []float32) (lo, hi int) {
 // AllGather concatenates every rank's equal-length local block into out,
 // ordered by rank. len(out) must be Size()·len(local).
 func (c *Comm) AllGather(local, out []float32) {
+	if sp := c.world.spAllGather; sp != nil {
+		defer observe(sp, time.Now())
+	}
 	n := c.world.n
 	if len(out) != n*len(local) {
 		panic(fmt.Sprintf("comm: AllGather out length %d, want %d", len(out), n*len(local)))

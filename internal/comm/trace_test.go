@@ -1,0 +1,88 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/obsv"
+)
+
+// TestWithRecorderCountsCollectives: every timed collective lands exactly
+// one observation per call in its named span, aggregated across ranks, and
+// the convenience reductions (mean, scalar) count once — in allreduce —
+// not twice.
+func TestWithRecorderCountsCollectives(t *testing.T) {
+	const n = 4
+	rec := obsv.NewRecorder()
+	w, err := NewWorld(n, WithRecorder(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const iters = 3
+	var wg sync.WaitGroup
+	for _, c := range w.Comms() {
+		wg.Add(1)
+		go func(c *Comm) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				buf := []float32{float32(c.Rank()), 1, 2, 3}
+				c.AllReduceSum(buf)
+				c.AllReduceMean(buf)
+				_ = c.AllReduceScalar(1)
+				c.Broadcast(buf, 0)
+				rs := make([]float32, n*2)
+				c.ReduceScatterSum(rs)
+				local := []float32{float32(c.Rank())}
+				out := make([]float32, n)
+				c.AllGather(local, out)
+				c.Barrier()
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	byName := map[string]obsv.SpanStat{}
+	for _, st := range rec.Snapshot() {
+		byName[st.Name] = st
+	}
+	// Per rank and iteration: AllReduceSum + AllReduceMean + AllReduceScalar
+	// all funnel through the one timed allreduce.
+	want := map[string]int64{
+		"allreduce":      n * iters * 3,
+		"broadcast":      n * iters,
+		"reduce_scatter": n * iters,
+		"allgather":      n * iters,
+		"barrier":        n * iters,
+	}
+	for name, count := range want {
+		st, ok := byName[name]
+		if !ok {
+			t.Errorf("span %q missing from recorder snapshot", name)
+			continue
+		}
+		if st.Count != count {
+			t.Errorf("span %q count = %d, want %d", name, st.Count, count)
+		}
+	}
+}
+
+// TestWithoutRecorderNoSpans: the default world carries nil spans — the
+// disabled path — and collectives still work.
+func TestWithoutRecorderNoSpans(t *testing.T) {
+	w, err := NewWorld(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for _, c := range w.Comms() {
+		wg.Add(1)
+		go func(c *Comm) {
+			defer wg.Done()
+			buf := []float32{1, 2}
+			c.AllReduceSum(buf)
+			c.Barrier()
+		}(c)
+	}
+	wg.Wait()
+}

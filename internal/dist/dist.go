@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/obsv"
 )
 
 // Config describes one process's membership in a TCP world.
@@ -47,6 +48,11 @@ type Config struct {
 	// values.
 	Algorithm comm.Algorithm
 	Helpers   int
+	// Recorder, when non-nil, attaches per-collective timing spans to this
+	// process's world (comm.WithRecorder): every local collective call over
+	// the TCP mesh observes its wall time. Off by default — the untimed
+	// path is a nil check per collective.
+	Recorder *obsv.Recorder
 	// HeartbeatEvery is the keepalive send interval (default 500ms).
 	HeartbeatEvery time.Duration
 	// PeerTimeout is how long a silent connection may stay silent before
@@ -138,7 +144,8 @@ func Join(cfg Config) (*World, error) {
 		return nil, err
 	}
 	cw, err := comm.NewWorldWithTransport(cfg.Size, rank, tr,
-		comm.WithAlgorithm(cfg.Algorithm), comm.WithHelpers(cfg.Helpers))
+		comm.WithAlgorithm(cfg.Algorithm), comm.WithHelpers(cfg.Helpers),
+		comm.WithRecorder(cfg.Recorder))
 	if err != nil {
 		tr.abandon()
 		return nil, err

@@ -48,6 +48,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obsv"
 	"repro/internal/serve/api"
 	"repro/internal/serve/client"
 	"repro/internal/serve/wire"
@@ -89,6 +90,12 @@ type Config struct {
 	// HedgeMin floors the hedge delay so a cold latency window cannot
 	// hedge instantly (default 10ms).
 	HedgeMin time.Duration
+	// Trace opts the gateway into per-request phase attribution: each
+	// predict's queue wait / upstream / gather split is retained in a
+	// recent-request ring keyed by X-Request-Id, and per-backend upstream
+	// spans accumulate — both served by GET /v1/trace. Off by default; the
+	// untraced proxy path pays one nil check per request.
+	Trace bool
 }
 
 func (cfg *Config) applyDefaults() {
@@ -140,6 +147,11 @@ type Gateway struct {
 	ctr    counters
 	lat    *latWindow
 	start  time.Time
+
+	// reqLog retains recent per-request phase breakdowns and upRec the
+	// per-backend upstream spans; both nil unless Config.Trace.
+	reqLog *obsv.RequestLog
+	upRec  *obsv.Recorder
 }
 
 // New builds a Gateway and starts its probe loops. Callers must Close it.
@@ -173,6 +185,15 @@ func New(cfg Config) (*Gateway, error) {
 		spread: &leastOutstanding{},
 		lat:    newLatWindow(512),
 		start:  time.Now(),
+	}
+	if cfg.Trace {
+		g.reqLog = obsv.NewRequestLog(256)
+		g.upRec = obsv.NewRecorder()
+		// Pre-resolve each member's upstream span so the proxy path never
+		// takes the recorder's lock (the pool membership is fixed).
+		for _, b := range pool.Backends() {
+			b.upSpan = g.upRec.Span(b.addr)
+		}
 	}
 	pool.start()
 	return g, nil
@@ -209,6 +230,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/models", g.handleModels)
 	mux.HandleFunc("/v1/models/", g.handleModelItem)
+	mux.HandleFunc("/v1/trace", g.handleTrace)
 	mux.HandleFunc("/healthz", g.handleHealthz)
 	mux.HandleFunc("/stats", g.handleStats)
 	return mux
@@ -392,6 +414,25 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleTrace answers GET /v1/trace: per-backend upstream-time spans plus
+// the most recent per-request phase breakdowns (newest first), each keyed
+// by its X-Request-Id. Empty (Enabled false) unless the gateway was built
+// with Config.Trace.
+func (g *Gateway) handleTrace(w http.ResponseWriter, r *http.Request) {
+	rid := requestID(w, r)
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, rid, http.MethodGet)
+		return
+	}
+	resp := api.GatewayTraceResponse{UptimeS: time.Since(g.start).Seconds()}
+	if g.reqLog != nil {
+		resp.Enabled = true
+		resp.Backends = g.upRec.Snapshot()
+		resp.Requests = g.reqLog.Snapshot(0)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // ---- predict: proxy, retry, hedge, scatter ----
 
 // predict classifies the request — single volume (proxied raw) versus
@@ -467,16 +508,39 @@ func (g *Gateway) predict(w http.ResponseWriter, r *http.Request, rid, name stri
 // errNoBackend means routing found no candidate left to try.
 var errNoBackend = errors.New("gateway: no ready backend")
 
+// msSince converts an elapsed duration to the trace payloads' millisecond
+// unit.
+func msSince(t0 time.Time) float64 {
+	return float64(time.Since(t0)) / float64(time.Millisecond)
+}
+
 // proxyPredict forwards a single-volume predict and streams the winning
 // backend's response through verbatim, tagged with X-Cosmoflow-Backend.
+// With tracing on, the request's upstream/write split lands in the
+// recent-request ring under its X-Request-Id.
 func (g *Gateway) proxyPredict(w http.ResponseWriter, r *http.Request, rid, name string, body []byte, ct, accept string) {
+	var t0 time.Time
+	if g.reqLog != nil {
+		t0 = time.Now()
+	}
 	resp, b, err := g.forwardWithRetry(r.Context(), rid, name, body, ct, accept)
 	if err != nil {
 		g.ctr.errors.Add(1)
 		g.writeRouteError(w, rid, name, err)
 		return
 	}
+	var upMs float64
+	if g.reqLog != nil {
+		upMs = msSince(t0)
+	}
 	copyResponse(w, resp, b.Addr())
+	if g.reqLog != nil {
+		total := msSince(t0)
+		g.reqLog.Add(obsv.RequestTrace{
+			RequestID: rid, Model: name, Backend: b.Addr(), TotalMs: total,
+			PhasesMs: map[string]float64{"upstream": upMs, "write": total - upMs},
+		})
+	}
 }
 
 // writeRouteError maps a routing failure: unknown model → 404, known (or
@@ -586,6 +650,9 @@ func (g *Gateway) send(ctx context.Context, b *Backend, rid, name string, body [
 		b.errors.Add(1)
 	} else {
 		b.recordSuccess()
+	}
+	if b.upSpan != nil {
+		b.upSpan.Observe(time.Since(t0))
 	}
 	if resp.StatusCode == http.StatusOK {
 		g.lat.observe(time.Since(t0))
@@ -745,18 +812,56 @@ func (g *Gateway) scatter(w http.ResponseWriter, r *http.Request, rid, name stri
 	}
 	preds := make([]*api.PredictResponse, len(bodies))
 	errs := make([]error, len(bodies))
+	// With tracing on, each sub-volume contributes its slot wait (time to a
+	// free scatter slot) and its upstream round trip; the sums plus the
+	// reassembly time form this request's phase breakdown.
+	var t0 time.Time
+	var waits, ups []float64
+	if g.reqLog != nil {
+		t0 = time.Now()
+		waits = make([]float64, len(bodies))
+		ups = make([]float64, len(bodies))
+	}
 	sem := make(chan struct{}, width)
 	var wg sync.WaitGroup
 	for i := range bodies {
 		wg.Add(1)
 		sem <- struct{}{}
+		if g.reqLog != nil {
+			waits[i] = msSince(t0)
+		}
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			var s0 time.Time
+			if g.reqLog != nil {
+				s0 = time.Now()
+			}
 			preds[i], errs[i] = g.scatterOne(r.Context(), rid, name, bodies[i], ct)
+			if g.reqLog != nil {
+				ups[i] = msSince(s0)
+			}
 		}(i)
 	}
 	wg.Wait()
+	if g.reqLog != nil {
+		gather0 := time.Now()
+		// Deferred so the gather phase covers reassembly and the response
+		// write, whichever exit path renders it.
+		defer func() {
+			var qw, up float64
+			for i := range waits {
+				qw += waits[i]
+				up += ups[i]
+			}
+			g.reqLog.Add(obsv.RequestTrace{
+				RequestID: rid, Model: name, TotalMs: msSince(t0),
+				PhasesMs: map[string]float64{
+					"queue_wait": qw, "upstream": up, "gather": msSince(gather0),
+				},
+			})
+		}()
+	}
 	for _, err := range errs {
 		if err == nil {
 			continue

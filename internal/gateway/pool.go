@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obsv"
 	"repro/internal/serve/api"
 	"repro/internal/serve/client"
 )
@@ -52,6 +53,11 @@ type Backend struct {
 	outstanding atomic.Int64
 	requests    atomic.Int64
 	errors      atomic.Int64
+
+	// upSpan accumulates this backend's upstream round-trip times; nil
+	// unless the gateway was built with Config.Trace (pre-resolved at
+	// construction so the proxy path never takes the recorder's lock).
+	upSpan *obsv.Span
 
 	mu          sync.Mutex
 	state       BackendState

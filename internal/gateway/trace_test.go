@@ -1,0 +1,169 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"repro/internal/serve/api"
+	"repro/internal/serve/wire"
+)
+
+func getGatewayTrace(t *testing.T, base string) api.GatewayTraceResponse {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/trace = %d, want 200", resp.StatusCode)
+	}
+	var tr api.GatewayTraceResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func findRequest(traces []api.RequestTrace, rid string) *api.RequestTrace {
+	for i := range traces {
+		if traces[i].RequestID == rid {
+			return &traces[i]
+		}
+	}
+	return nil
+}
+
+// TestGatewayTraceAttribution: with Config.Trace, every request's phase
+// breakdown lands in /v1/trace keyed by its X-Request-Id — upstream/write
+// for proxied singles, queue_wait/upstream/gather for scattered batches —
+// and the per-backend upstream spans account for every send.
+func TestGatewayTraceAttribution(t *testing.T) {
+	ckpt := testCheckpoint(t)
+	b1 := startBackend(t, ckpt)
+	b2 := startBackend(t, ckpt)
+	_, gws := testGateway(t, Config{Trace: true}, b1.url, b2.url)
+	waitReady(t, gws.URL)
+
+	// Proxied single volume with a caller-chosen request id.
+	vox := testVoxels(t, 3, 31)
+	req, err := http.NewRequest(http.MethodPost,
+		gws.URL+"/v1/models/"+api.DefaultModel+":predict", bytes.NewReader(binBody(t, vox[0])))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", wire.ContentTypeTensor)
+	req.Header.Set(api.HeaderRequestID, "trace-proxy-1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp, 200)
+
+	tr := getGatewayTrace(t, gws.URL)
+	if !tr.Enabled {
+		t.Fatal("trace Enabled = false on a Trace-configured gateway")
+	}
+	rt := findRequest(tr.Requests, "trace-proxy-1")
+	if rt == nil {
+		t.Fatalf("request trace-proxy-1 missing from /v1/trace: %+v", tr.Requests)
+	}
+	if rt.Backend != b1.url && rt.Backend != b2.url {
+		t.Errorf("proxied trace backend = %q, want a pool member", rt.Backend)
+	}
+	if rt.TotalMs <= 0 {
+		t.Errorf("proxied trace TotalMs = %v, want > 0", rt.TotalMs)
+	}
+	for _, phase := range []string{"upstream", "write"} {
+		if _, ok := rt.PhasesMs[phase]; !ok {
+			t.Errorf("proxied trace missing phase %q: %+v", phase, rt.PhasesMs)
+		}
+	}
+
+	// Scattered batch: [N 1 D H W] fanned out over the pool.
+	const n = 5
+	flat := make([]float32, 0, n*len(vox[0]))
+	for i := 0; i < n; i++ {
+		flat = append(flat, vox[i%len(vox)]...)
+	}
+	batch, err := wire.FromFloat32([]int{n, 1, testDim, testDim, testDim}, flat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := batch.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	req, err = http.NewRequest(http.MethodPost,
+		gws.URL+"/v1/models/"+api.DefaultModel+":predict", bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", wire.ContentTypeTensor)
+	req.Header.Set("Accept", wire.ContentTypeTensor)
+	req.Header.Set(api.HeaderRequestID, "trace-scatter-1")
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(t, resp, 200)
+
+	tr = getGatewayTrace(t, gws.URL)
+	rt = findRequest(tr.Requests, "trace-scatter-1")
+	if rt == nil {
+		t.Fatalf("request trace-scatter-1 missing from /v1/trace: %+v", tr.Requests)
+	}
+	for _, phase := range []string{"queue_wait", "upstream", "gather"} {
+		if _, ok := rt.PhasesMs[phase]; !ok {
+			t.Errorf("scatter trace missing phase %q: %+v", phase, rt.PhasesMs)
+		}
+	}
+
+	// Most recent first: the scatter entry must precede the proxy entry.
+	iScatter := -1
+	iProxy := -1
+	for i, r := range tr.Requests {
+		switch r.RequestID {
+		case "trace-scatter-1":
+			iScatter = i
+		case "trace-proxy-1":
+			iProxy = i
+		}
+	}
+	if iScatter > iProxy {
+		t.Errorf("request log order: scatter at %d, proxy at %d, want newest first", iScatter, iProxy)
+	}
+
+	// The per-backend spans carry every upstream send: 1 proxied + n
+	// scattered volumes (plus any probe-independent retries), split across
+	// the pool.
+	var sends int64
+	for _, st := range tr.Backends {
+		if st.Name != b1.url && st.Name != b2.url {
+			t.Errorf("backend span %q not in the pool", st.Name)
+		}
+		sends += st.Count
+	}
+	if sends < n+1 {
+		t.Errorf("backend spans count %d sends, want >= %d", sends, n+1)
+	}
+}
+
+// TestGatewayTraceOffByDefault: without Config.Trace the route answers but
+// stays empty, and nothing is recorded per request.
+func TestGatewayTraceOffByDefault(t *testing.T) {
+	ckpt := testCheckpoint(t)
+	b1 := startBackend(t, ckpt)
+	_, gws := testGateway(t, Config{}, b1.url)
+	waitReady(t, gws.URL)
+
+	vox := testVoxels(t, 1, 37)[0]
+	readAll(t, postPredict(t, gws.URL, binBody(t, vox), wire.ContentTypeTensor, wire.ContentTypeTensor), 200)
+
+	tr := getGatewayTrace(t, gws.URL)
+	if tr.Enabled || len(tr.Requests) != 0 || len(tr.Backends) != 0 {
+		t.Errorf("untraced gateway trace = %+v, want empty", tr)
+	}
+}

@@ -34,6 +34,9 @@ func (n *Network) Clone(pool *parallel.Pool) (*Network, error) {
 		Layers:        make([]Layer, len(n.Layers)),
 		InputDim:      n.InputDim,
 		InputChannels: n.InputChannels,
+		// Replicas share the original's forward trace (span updates are
+		// atomic), so one snapshot aggregates the whole replica pool.
+		trace: n.trace,
 	}
 	for i, l := range n.Layers {
 		cl, ok := l.(cloneableLayer)

@@ -2,6 +2,7 @@ package nn
 
 import (
 	"math"
+	"time"
 
 	"repro/internal/tensor"
 )
@@ -19,9 +20,29 @@ type inferrer interface {
 // serving replicas use. A single network still serves one Infer at a time;
 // run concurrent inference on Clone replicas.
 func (n *Network) Infer(x *tensor.Tensor) *tensor.Tensor {
+	if n.trace != nil {
+		return n.inferTraced(x)
+	}
 	for _, l := range n.Layers {
 		x = inferLayer(l, x)
 	}
+	return x
+}
+
+// inferTraced is the timed twin of Infer's loop: each layer's wall time
+// lands in its trace span, the whole pass in the forward span. Kept as a
+// separate loop so the untraced path pays no clock reads.
+func (n *Network) inferTraced(x *tensor.Tensor) *tensor.Tensor {
+	tr := n.trace
+	start := time.Now()
+	last := start
+	for i, l := range n.Layers {
+		x = inferLayer(l, x)
+		now := time.Now()
+		tr.Layers[i].Observe(now.Sub(last))
+		last = now
+	}
+	tr.Forward.Observe(last.Sub(start))
 	return x
 }
 

@@ -2,6 +2,7 @@ package nn
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/parallel"
 	"repro/internal/tensor"
@@ -71,8 +72,17 @@ func (n *Network) InferBatch(xs []*tensor.Tensor) []*tensor.Tensor {
 	// the next layer has consumed them. Zero-copy layers (Flatten's
 	// reshape, Dropout's inference identity) alias their input, detected by
 	// backing-pointer identity, in which case ownership simply carries.
+	// With a trace attached, each layer's kernel time lands in its span
+	// (batch granularity: one observation covers the whole micro-batch);
+	// untraced passes skip every clock read.
+	tr := n.trace
+	var start, last time.Time
+	if tr != nil {
+		start = time.Now()
+		last = start
+	}
 	cur, owned := xs, false
-	for _, l := range n.Layers {
+	for li, l := range n.Layers {
 		var next []*tensor.Tensor
 		if bi, ok := l.(batchInferrer); ok {
 			next = bi.inferBatch(cur, ctx)
@@ -81,6 +91,11 @@ func (n *Network) InferBatch(xs []*tensor.Tensor) []*tensor.Tensor {
 			for i, x := range cur {
 				next[i] = inferLayer(l, x)
 			}
+		}
+		if tr != nil {
+			now := time.Now()
+			tr.Layers[li].Observe(now.Sub(last))
+			last = now
 		}
 		if !sameBacking(next[0], cur[0]) {
 			if owned {
@@ -91,6 +106,9 @@ func (n *Network) InferBatch(xs []*tensor.Tensor) []*tensor.Tensor {
 			owned = true
 		}
 		cur = next
+	}
+	if tr != nil {
+		tr.Forward.Observe(last.Sub(start))
 	}
 	return cur
 }

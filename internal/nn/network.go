@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/obsv"
 	"repro/internal/tensor"
 )
 
@@ -18,6 +19,38 @@ type Network struct {
 	// caches it is single-owner state: one network runs one inference at a
 	// time, and Clone replicas each get their own.
 	batchBuf *tensor.BufPool
+
+	// trace, when set, receives per-layer forward timings from Infer and
+	// InferBatch (see SetTrace). nil (the default) keeps the untimed hot
+	// path: the disabled cost is one pointer check per forward pass.
+	trace *obsv.ForwardTrace
+}
+
+// SetTrace attaches a per-layer forward trace to the network: Infer and
+// InferBatch record each layer's wall time into t.Layers (index-aligned
+// with n.Layers) and the whole pass into t.Forward. Clone replicas inherit
+// the pointer, so one trace aggregates a whole replica pool; pass nil to
+// disable. t.Layers must have exactly len(n.Layers) spans — use
+// NewForwardTrace(n.LayerNames()).
+func (n *Network) SetTrace(t *obsv.ForwardTrace) {
+	if t != nil && len(t.Layers) != len(n.Layers) {
+		panic(fmt.Sprintf("nn: trace has %d layer spans, network has %d layers",
+			len(t.Layers), len(n.Layers)))
+	}
+	n.trace = t
+}
+
+// Trace returns the attached forward trace, nil when tracing is disabled.
+func (n *Network) Trace() *obsv.ForwardTrace { return n.trace }
+
+// LayerNames returns the layer names in stack order — the span labels for
+// NewForwardTrace.
+func (n *Network) LayerNames() []string {
+	names := make([]string, len(n.Layers))
+	for i, l := range n.Layers {
+		names[i] = l.Name()
+	}
+	return names
 }
 
 // Forward runs the full forward pass.

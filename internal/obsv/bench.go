@@ -1,0 +1,233 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// SchemaVersion identifies the BENCH_<area>.json layout. Bump it on any
+// incompatible change so cosmoflow-benchdiff refuses to compare across
+// schemas instead of silently mismatching metrics.
+const SchemaVersion = "cosmoflow-bench/v1"
+
+// Better directions for a metric: whether a larger or a smaller value is
+// an improvement. The direction travels in the file so the compare step
+// never guesses from unit names.
+const (
+	BetterHigher = "higher" // throughput-like: qps, samples/s, GF/s
+	BetterLower  = "lower"  // latency-like: ms, ns, bytes
+)
+
+// Metric is one measured value in a benchmark report.
+type Metric struct {
+	Value  float64 `json:"value"`
+	Unit   string  `json:"unit,omitempty"`
+	Better string  `json:"better"` // BetterHigher or BetterLower
+}
+
+// Report is one benchmark area's machine-readable trajectory point — the
+// BENCH_<area>.json emitted by cosmoflow-bench, cosmoflow-loadgen, and
+// scripts/bench_collect.sh, and consumed by cosmoflow-benchdiff. The
+// committed files under bench/baseline/ are the trajectory the CI compare
+// step gates against (modeled on mgpusim's collect/compare-stats flow).
+type Report struct {
+	Schema    string            `json:"schema"`
+	Area      string            `json:"area"` // kernel, serve, gateway, dist
+	GitSHA    string            `json:"git_sha"`
+	Timestamp string            `json:"timestamp"` // RFC 3339, UTC
+	GoOS      string            `json:"goos"`
+	GoArch    string            `json:"goarch"`
+	CPUs      int               `json:"cpus"`
+	Config    map[string]string `json:"config,omitempty"` // run parameters (dim, n, c, ...)
+	Metrics   map[string]Metric `json:"metrics"`
+}
+
+// NewReport returns a report stamped with the schema version, the current
+// git SHA (COSMOFLOW_GIT_SHA overrides; "unknown" when neither resolves),
+// and the host fingerprint.
+func NewReport(area string) *Report {
+	return &Report{
+		Schema:    SchemaVersion,
+		Area:      area,
+		GitSHA:    gitSHA(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		GoOS:      runtime.GOOS,
+		GoArch:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Config:    map[string]string{},
+		Metrics:   map[string]Metric{},
+	}
+}
+
+// gitSHA resolves the commit being measured: the env override first (CI
+// checkouts without .git), then `git rev-parse HEAD`.
+func gitSHA() string {
+	if sha := strings.TrimSpace(os.Getenv("COSMOFLOW_GIT_SHA")); sha != "" {
+		return sha
+	}
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	if sha := strings.TrimSpace(string(out)); sha != "" {
+		return sha
+	}
+	return "unknown"
+}
+
+// SetLower records a lower-is-better metric (latency, bytes).
+func (r *Report) SetLower(name string, v float64, unit string) {
+	r.Metrics[name] = Metric{Value: v, Unit: unit, Better: BetterLower}
+}
+
+// SetHigher records a higher-is-better metric (throughput).
+func (r *Report) SetHigher(name string, v float64, unit string) {
+	r.Metrics[name] = Metric{Value: v, Unit: unit, Better: BetterHigher}
+}
+
+// WriteFile writes the report as indented JSON, creating parent
+// directories as needed.
+func (r *Report) WriteFile(path string) error {
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadReport loads and validates one BENCH_<area>.json.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("obsv: parsing %s: %w", path, err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("obsv: %s has schema %q, want %q", path, r.Schema, SchemaVersion)
+	}
+	return &r, nil
+}
+
+// Delta is one metric's baseline-versus-current comparison.
+type Delta struct {
+	Name       string
+	Base, Cur  float64
+	Unit       string
+	Better     string
+	PctChange  float64 // signed (cur-base)/base·100
+	Regression bool    // worse than baseline by more than the threshold
+	Missing    bool    // present in baseline, absent in current
+}
+
+// Compare evaluates current against baseline: a metric regresses when it
+// moves in its worse direction by more than thresholdPct percent, or when
+// it vanished from the current report (a silently dropped measurement must
+// not read as a pass). Metrics new in current are ignored — they extend
+// the trajectory, the next baseline refresh picks them up.
+func Compare(baseline, current *Report, thresholdPct float64) []Delta {
+	names := make([]string, 0, len(baseline.Metrics))
+	for n := range baseline.Metrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]Delta, 0, len(names))
+	for _, n := range names {
+		b := baseline.Metrics[n]
+		d := Delta{Name: n, Base: b.Value, Unit: b.Unit, Better: b.Better}
+		c, ok := current.Metrics[n]
+		if !ok {
+			d.Missing = true
+			d.Regression = true
+			out = append(out, d)
+			continue
+		}
+		d.Cur = c.Value
+		if b.Value != 0 {
+			d.PctChange = (c.Value - b.Value) / b.Value * 100
+		} else if c.Value != 0 {
+			d.PctChange = 100
+		}
+		switch b.Better {
+		case BetterHigher:
+			d.Regression = d.PctChange < -thresholdPct
+		default: // BetterLower, and the safe default for unlabeled metrics
+			d.Regression = d.PctChange > thresholdPct
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
+// CompareDirs compares every BENCH_*.json in baselineDir against the
+// same-named file in currentDir, returning a rendered table and whether
+// any metric regressed. A baseline file with no current counterpart is a
+// regression (the harness stopped producing that area).
+func CompareDirs(baselineDir, currentDir string, thresholdPct float64) (string, bool, error) {
+	paths, err := filepath.Glob(filepath.Join(baselineDir, "BENCH_*.json"))
+	if err != nil {
+		return "", false, err
+	}
+	if len(paths) == 0 {
+		return "", false, fmt.Errorf("obsv: no BENCH_*.json under %s", baselineDir)
+	}
+	sort.Strings(paths)
+	var b strings.Builder
+	regressed := false
+	for _, bp := range paths {
+		base, err := ReadReport(bp)
+		if err != nil {
+			return "", false, err
+		}
+		cp := filepath.Join(currentDir, filepath.Base(bp))
+		cur, err := ReadReport(cp)
+		if err != nil {
+			if os.IsNotExist(err) {
+				fmt.Fprintf(&b, "%s: MISSING current report %s\n", base.Area, cp)
+				regressed = true
+				continue
+			}
+			return "", false, err
+		}
+		fmt.Fprintf(&b, "%s (%s -> %s, threshold %.1f%%):\n",
+			base.Area, short(base.GitSHA), short(cur.GitSHA), thresholdPct)
+		for _, d := range Compare(base, cur, thresholdPct) {
+			mark := "  "
+			switch {
+			case d.Missing:
+				mark = "!!"
+				regressed = true
+				fmt.Fprintf(&b, "  %s %-36s %12.3f -> MISSING\n", mark, d.Name, d.Base)
+				continue
+			case d.Regression:
+				mark = "!!"
+				regressed = true
+			}
+			fmt.Fprintf(&b, "  %s %-36s %12.3f -> %12.3f %-6s %+7.1f%% (%s better)\n",
+				mark, d.Name, d.Base, d.Cur, d.Unit, d.PctChange, d.Better)
+		}
+	}
+	return b.String(), regressed, nil
+}
+
+// short abbreviates a git SHA for table headers.
+func short(sha string) string {
+	if len(sha) > 10 {
+		return sha[:10]
+	}
+	return sha
+}

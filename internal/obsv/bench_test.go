@@ -1,0 +1,166 @@
+package obsv
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testReport(area string) *Report {
+	r := NewReport(area)
+	r.Config["dim"] = "16"
+	r.SetLower("p99_ms", 20, "ms")
+	r.SetHigher("qps", 500, "req/s")
+	return r
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	t.Setenv("COSMOFLOW_GIT_SHA", "cafe1234")
+	path := filepath.Join(t.TempDir(), "out", "BENCH_serve.json")
+	r := testReport("serve")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != SchemaVersion {
+		t.Errorf("Schema = %q, want %q", got.Schema, SchemaVersion)
+	}
+	if got.Area != "serve" || got.GitSHA != "cafe1234" || got.Config["dim"] != "16" {
+		t.Errorf("round trip lost fields: %+v", got)
+	}
+	if got.Metrics["qps"] != (Metric{Value: 500, Unit: "req/s", Better: BetterHigher}) {
+		t.Errorf("qps = %+v", got.Metrics["qps"])
+	}
+	if got.Timestamp == "" {
+		t.Error("Timestamp empty")
+	}
+}
+
+func TestReadReportRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	r := testReport("x")
+	r.Schema = "cosmoflow-bench/v0"
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(path); err == nil {
+		t.Fatal("ReadReport accepted a mismatched schema version")
+	}
+}
+
+// The acceptance criterion: a synthetically injected >5% regression must be
+// flagged — in both directions (latency up, throughput down) — while
+// within-threshold drift and improvements must not.
+func TestCompareFlagsInjectedRegression(t *testing.T) {
+	base := testReport("serve")
+	cur := testReport("serve")
+
+	cur.SetLower("p99_ms", 20*1.08, "ms")   // lower-better metric worse by 8%
+	cur.SetHigher("qps", 500*0.92, "req/s") // higher-better metric worse by 8%
+
+	deltas := Compare(base, cur, 5)
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if !byName["p99_ms"].Regression {
+		t.Errorf("p99_ms +8%% not flagged: %+v", byName["p99_ms"])
+	}
+	if !byName["qps"].Regression {
+		t.Errorf("qps -8%% not flagged: %+v", byName["qps"])
+	}
+
+	// Same drift within a looser threshold: clean.
+	for _, d := range Compare(base, cur, 10) {
+		if d.Regression {
+			t.Errorf("%s flagged at 10%% threshold: %+v", d.Name, d)
+		}
+	}
+
+	// Improvements in each metric's better direction: clean at any threshold.
+	cur.SetLower("p99_ms", 10, "ms")
+	cur.SetHigher("qps", 900, "req/s")
+	for _, d := range Compare(base, cur, 5) {
+		if d.Regression {
+			t.Errorf("improvement flagged as regression: %+v", d)
+		}
+	}
+}
+
+func TestCompareMissingMetricIsRegression(t *testing.T) {
+	base := testReport("serve")
+	cur := testReport("serve")
+	delete(cur.Metrics, "p99_ms")
+	cur.SetHigher("new_metric", 1, "") // new in current: ignored
+
+	deltas := Compare(base, cur, 5)
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2 (baseline metrics only)", len(deltas))
+	}
+	var found bool
+	for _, d := range deltas {
+		if d.Name == "p99_ms" {
+			found = true
+			if !d.Missing || !d.Regression {
+				t.Errorf("dropped metric not treated as regression: %+v", d)
+			}
+		}
+		if d.Name == "new_metric" {
+			t.Error("metric new in current should be ignored")
+		}
+	}
+	if !found {
+		t.Error("p99_ms delta missing from Compare output")
+	}
+}
+
+// CompareDirs is what cosmoflow-benchdiff exits non-zero on: the regressed
+// bool must follow the worst metric across all area files, and a vanished
+// area report must regress too.
+func TestCompareDirs(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	write := func(dir, name string, r *Report) {
+		t.Helper()
+		if err := r.WriteFile(filepath.Join(dir, name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(baseDir, "BENCH_kernel.json", testReport("kernel"))
+	write(curDir, "BENCH_kernel.json", testReport("kernel"))
+	write(baseDir, "BENCH_serve.json", testReport("serve"))
+	write(curDir, "BENCH_serve.json", testReport("serve"))
+
+	table, regressed, err := CompareDirs(baseDir, curDir, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Errorf("identical dirs regressed:\n%s", table)
+	}
+
+	bad := testReport("serve")
+	bad.SetLower("p99_ms", 30, "ms") // +50% on a lower-better metric
+	write(curDir, "BENCH_serve.json", bad)
+	table, regressed, err = CompareDirs(baseDir, curDir, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Errorf("injected +50%% p99 not regressed:\n%s", table)
+	}
+	if !strings.Contains(table, "!!") {
+		t.Errorf("regressed line not marked !!:\n%s", table)
+	}
+
+	emptyCur := t.TempDir()
+	if _, regressed, err = CompareDirs(baseDir, emptyCur, 5); err != nil || !regressed {
+		t.Errorf("missing current reports: regressed=%v err=%v, want true,nil", regressed, err)
+	}
+
+	if _, _, err = CompareDirs(t.TempDir(), curDir, 5); err == nil {
+		t.Error("empty baseline dir should be an error, not a pass")
+	}
+}

@@ -25,6 +25,8 @@
 // envelope, whatever the negotiated encoding.
 package api
 
+import "repro/internal/obsv"
+
 // DefaultModel is the model name the server uses when a request does not
 // name one (the legacy /predict route with an empty "model" field).
 const DefaultModel = "default"
@@ -153,6 +155,46 @@ type Stats struct {
 	AvgQueueMs  float64 `json:"avg_queue_ms"`
 }
 
+// SpanStat is one named timing span's aggregate (count/total/avg/max) —
+// the building block of every trace payload. Aliased from internal/obsv
+// (stdlib-only, like the wire codec) so server-side snapshots are these
+// wire values directly.
+type SpanStat = obsv.SpanStat
+
+// RequestTrace is one routed request's phase timing breakdown, keyed by
+// the X-Request-Id the gateway echoed on the response.
+type RequestTrace = obsv.RequestTrace
+
+// ModelTrace is one model's per-layer forward timing in GET /v1/trace:
+// Forward covers whole forward passes (one observation per Infer/InferBatch
+// dispatch across the replica pool), Layers one span per network layer in
+// stack order. Per-layer totals sum to Forward's total up to clock-read
+// skew (the contract is within 10%; in practice well under 1%).
+type ModelTrace struct {
+	Model   string     `json:"model"`
+	Forward SpanStat   `json:"forward"`
+	Layers  []SpanStat `json:"layers"`
+}
+
+// TraceResponse is GET /v1/trace on a backend: every traced model's
+// per-layer breakdown. Models loaded without tracing are absent; Enabled
+// is false when no loaded model traces.
+type TraceResponse struct {
+	UptimeS float64      `json:"uptime_s"`
+	Enabled bool         `json:"enabled"`
+	Models  []ModelTrace `json:"models"`
+}
+
+// GatewayTraceResponse is GET /v1/trace on cosmoflow-gateway: per-backend
+// upstream-time spans plus the most recent per-request phase breakdowns
+// (newest first), each keyed by its X-Request-Id.
+type GatewayTraceResponse struct {
+	UptimeS  float64        `json:"uptime_s"`
+	Enabled  bool           `json:"enabled"`
+	Backends []SpanStat     `json:"backends,omitempty"`
+	Requests []RequestTrace `json:"requests,omitempty"`
+}
+
 // ModelStatus is one model's entry in GET /v1/models: lifecycle state,
 // the config it was loaded with, and its live metrics when ready.
 type ModelStatus struct {
@@ -189,6 +231,11 @@ type LoadModelRequest struct {
 	WorkersPerReplica int     `json:"workers_per_replica,omitempty"` // default 1
 	MaxBatch          int     `json:"max_batch,omitempty"`           // default 8
 	MaxDelayMs        float64 `json:"max_delay_ms,omitempty"`        // default 2
+	// Trace opts this model into per-layer forward timing (surfaced in
+	// /stats and GET /v1/trace). Off by default: the traced path pays two
+	// clock reads per layer per micro-batch, the untraced path one nil
+	// check per forward.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // UnloadModelResponse is the DELETE /v1/models/{name} answer; the drain
@@ -216,10 +263,14 @@ type HealthResponse struct {
 	UptimeS float64       `json:"uptime_s"`
 }
 
-// ModelStats is one model's entry in the /stats answer.
+// ModelStats is one model's entry in the /stats answer. Forward/Layers
+// carry the per-layer trace for models loaded with Trace (absent
+// otherwise) — the same numbers GET /v1/trace reports.
 type ModelStats struct {
 	Stats
-	Replicas int `json:"replicas"`
+	Replicas int        `json:"replicas"`
+	Forward  *SpanStat  `json:"forward,omitempty"`
+	Layers   []SpanStat `json:"layers,omitempty"`
 }
 
 // StatsResponse is the /stats answer.

@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistQuantileEmpty(t *testing.T) {
+	var counts [len(latencyBuckets) + 1]int64
+	if got := histQuantile(counts[:], 0, 0.50); got != 0 {
+		t.Errorf("empty histogram p50 = %v, want 0", got)
+	}
+	m := &Metrics{}
+	s := m.Snapshot()
+	if s.P50Ms != 0 || s.P99Ms != 0 || s.MeanMs != 0 {
+		t.Errorf("empty Metrics snapshot = p50 %v p99 %v mean %v, want zeroes",
+			s.P50Ms, s.P99Ms, s.MeanMs)
+	}
+}
+
+// A single sample interpolates inside its own bucket, and every quantile
+// must land there — there is nowhere else the mass can be.
+func TestHistQuantileSingleSample(t *testing.T) {
+	m := &Metrics{}
+	m.observe(3 * time.Millisecond) // bucket (2, 5]
+	s := m.Snapshot()
+	for _, q := range []float64{s.P50Ms, s.P99Ms} {
+		if q <= 2 || q > 5 {
+			t.Errorf("single-sample quantile %v outside its (2,5] bucket", q)
+		}
+	}
+	if s.MeanMs != 3 {
+		t.Errorf("MeanMs = %v, want 3", s.MeanMs)
+	}
+}
+
+// Samples past the last finite bound land in the +Inf overflow bucket; the
+// estimator must report the largest finite bound rather than fabricating a
+// number beyond what the histogram can resolve.
+func TestHistQuantileSaturatedBucket(t *testing.T) {
+	m := &Metrics{}
+	for i := 0; i < 10; i++ {
+		m.observe(30 * time.Second)
+	}
+	s := m.Snapshot()
+	top := latencyBuckets[len(latencyBuckets)-1]
+	if s.P50Ms != top || s.P99Ms != top {
+		t.Errorf("overflow-bucket quantiles = p50 %v p99 %v, want both %v", s.P50Ms, s.P99Ms, top)
+	}
+}
+
+// A bimodal distribution: p50 must stay in the fast mode, p99 in the slow
+// mode, and the estimate must interpolate within — not snap to — bounds.
+func TestHistQuantileInterpolation(t *testing.T) {
+	m := &Metrics{}
+	for i := 0; i < 90; i++ {
+		m.observe(1500 * time.Microsecond) // bucket (1, 2]
+	}
+	for i := 0; i < 10; i++ {
+		m.observe(70 * time.Millisecond) // bucket (50, 100]
+	}
+	s := m.Snapshot()
+	if s.P50Ms <= 1 || s.P50Ms > 2 {
+		t.Errorf("P50Ms = %v, want within fast mode's (1,2] bucket", s.P50Ms)
+	}
+	if s.P99Ms <= 50 || s.P99Ms > 100 {
+		t.Errorf("P99Ms = %v, want within slow mode's (50,100] bucket", s.P99Ms)
+	}
+}
+
+// The kernel/queue split is what makes batching gains legible in /stats:
+// avg_kernel_ms is per dispatched batch, avg_queue_ms per request. Drive
+// both from concurrent batches (as replica goroutines do) and check the
+// denominators stay distinct and no observation is lost.
+func TestMetricsKernelQueueSplitConcurrent(t *testing.T) {
+	m := &Metrics{}
+	const batches = 16
+	const perBatch = 4 // requests per batch
+	var wg sync.WaitGroup
+	for b := 0; b < batches; b++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m.observeBatch(perBatch)
+			m.observeKernel(8 * time.Millisecond)
+			for r := 0; r < perBatch; r++ {
+				m.observeQueueWait(2 * time.Millisecond)
+				m.observe(10 * time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+
+	s := m.Snapshot()
+	if s.Batches != batches || s.Requests != batches*perBatch {
+		t.Fatalf("batches %d requests %d, want %d and %d", s.Batches, s.Requests, batches, batches*perBatch)
+	}
+	if s.AvgBatch != perBatch {
+		t.Errorf("AvgBatch = %v, want %d", s.AvgBatch, perBatch)
+	}
+	// Kernel time divides by batches (the forward ran once per batch)...
+	if math.Abs(s.AvgKernelMs-8) > 1e-9 {
+		t.Errorf("AvgKernelMs = %v, want 8 (per batch)", s.AvgKernelMs)
+	}
+	// ...while queue wait divides by items (each request waited on its own).
+	if math.Abs(s.AvgQueueMs-2) > 1e-9 {
+		t.Errorf("AvgQueueMs = %v, want 2 (per request)", s.AvgQueueMs)
+	}
+	if math.Abs(s.MeanMs-10) > 1e-9 {
+		t.Errorf("MeanMs = %v, want 10", s.MeanMs)
+	}
+}
+
+// Negative queue waits (clock skew between enqueue and dispatch stamps) are
+// clamped, not subtracted from the aggregate.
+func TestMetricsQueueWaitClamp(t *testing.T) {
+	m := &Metrics{}
+	m.observeBatch(2)
+	m.observeQueueWait(-5 * time.Millisecond)
+	m.observeQueueWait(4 * time.Millisecond)
+	if got := m.Snapshot().AvgQueueMs; got != 2 {
+		t.Errorf("AvgQueueMs = %v, want 2 (negative wait clamped to 0)", got)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/cosmo"
+	"repro/internal/obsv"
 	"repro/internal/tensor"
 )
 
@@ -19,6 +20,10 @@ type Model struct {
 	pool       *replicaPool
 	batch      *batcher
 	metrics    *Metrics
+	// trace aggregates per-layer forward timings across the whole replica
+	// pool (every replica shares the pointer); nil unless the model was
+	// loaded with ModelConfig.Trace.
+	trace *obsv.ForwardTrace
 }
 
 // Prediction is the answer to one serving request.
@@ -54,9 +59,20 @@ func newModel(cfg ModelConfig) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
+	var trace *obsv.ForwardTrace
+	if cfg.Trace {
+		// Attach before cloning so every replica inherits the shared trace.
+		trace = obsv.NewForwardTrace(net.LayerNames())
+		net.SetTrace(trace)
+	}
 	pool, err := newReplicaPool(net, cfg.Replicas, cfg.WorkersPerReplica)
 	if err != nil {
 		return nil, err
+	}
+	if trace != nil {
+		// Drop the pool's warm-up forward: the trace should reflect served
+		// traffic only.
+		trace.Reset()
 	}
 	m := &Model{
 		name:       cfg.Name,
@@ -64,6 +80,7 @@ func newModel(cfg ModelConfig) (*Model, error) {
 		priors:     cfg.Priors,
 		pool:       pool,
 		metrics:    &Metrics{},
+		trace:      trace,
 	}
 	m.batch = newBatcher(cfg.MaxBatch, cfg.MaxDelay, m.metrics, m.runBatch)
 	return m, nil
@@ -181,6 +198,17 @@ func (m *Model) Replicas() int { return m.pool.size() }
 
 // Stats snapshots the model's metrics.
 func (m *Model) Stats() Stats { return m.metrics.Snapshot() }
+
+// TraceSnapshot returns the whole-forward span and the per-layer spans in
+// stack order, aggregated across the replica pool. ok is false when the
+// model was loaded without tracing.
+func (m *Model) TraceSnapshot() (fwd obsv.SpanStat, layers []obsv.SpanStat, ok bool) {
+	if m.trace == nil {
+		return obsv.SpanStat{}, nil, false
+	}
+	fwd, layers = m.trace.Snapshot()
+	return fwd, layers, true
+}
 
 // Close drains the batcher (queued and in-flight requests all complete)
 // and then releases the replicas. Subsequent Predicts return ErrClosed.

@@ -31,6 +31,10 @@ type ModelConfig struct {
 	// MaxBatch and MaxDelay tune the micro-batcher (defaults 8, 2ms).
 	MaxBatch int
 	MaxDelay time.Duration
+	// Trace opts this model into per-layer forward timing, surfaced in
+	// /stats and GET /v1/trace. One trace aggregates the whole replica
+	// pool; off by default (the untraced forward pays one nil check).
+	Trace bool
 }
 
 // DefaultModel is the model name used when a request does not specify one.

@@ -60,6 +60,7 @@ func NewServer(reg *Registry, addr string) *Server {
 	mux.HandleFunc("/v1/models", s.handleModels)
 	mux.HandleFunc("/v1/models/", s.handleModelItem)
 	mux.HandleFunc("/predict", s.handleLegacyPredict)
+	mux.HandleFunc("/v1/trace", s.handleTrace)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
 	s.http = &http.Server{
@@ -394,6 +395,7 @@ func (s *Server) loadModel(w http.ResponseWriter, r *http.Request, rid, name str
 		WorkersPerReplica: req.WorkersPerReplica,
 		MaxBatch:          req.MaxBatch,
 		MaxDelay:          time.Duration(req.MaxDelayMs * float64(time.Millisecond)),
+		Trace:             req.Trace,
 	}
 	if _, err := s.reg.Load(cfg); err != nil {
 		switch {
@@ -536,11 +538,44 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, info := range s.reg.Info() {
 		if info.Model != nil {
-			resp.Models[info.Name] = api.ModelStats{
+			ms := api.ModelStats{
 				Stats:    info.Model.Stats(),
 				Replicas: info.Model.Replicas(),
 			}
+			if fwd, layers, ok := info.Model.TraceSnapshot(); ok {
+				ms.Forward, ms.Layers = &fwd, layers
+			}
+			resp.Models[info.Name] = ms
 		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleTrace answers GET /v1/trace: every traced model's per-layer
+// forward breakdown, aggregated across its replica pool since load (or
+// the last counter reset). Models loaded without ModelConfig.Trace are
+// absent; Enabled is false when none trace.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	rid := requestID(w, r)
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, rid, http.MethodGet)
+		return
+	}
+	resp := api.TraceResponse{UptimeS: time.Since(s.start).Seconds()}
+	for _, info := range s.reg.Info() {
+		if info.Model == nil {
+			continue
+		}
+		fwd, layers, ok := info.Model.TraceSnapshot()
+		if !ok {
+			continue
+		}
+		resp.Enabled = true
+		resp.Models = append(resp.Models, api.ModelTrace{
+			Model:   info.Name,
+			Forward: fwd,
+			Layers:  layers,
+		})
 	}
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/serve/api"
+	"repro/internal/serve/wire"
+)
+
+// tracedTestServer stands up one Trace-enabled model behind the full mux.
+func tracedTestServer(t *testing.T, seed int64) (*httptest.Server, func()) {
+	t.Helper()
+	ckpt, _ := testCheckpoint(t, seed)
+	cfg := testModelConfig(ckpt)
+	cfg.Trace = true
+	reg := NewRegistry()
+	if _, err := reg.Load(cfg); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewServer(reg, "").Handler())
+	return srv, func() { srv.Close(); reg.Close() }
+}
+
+func getTrace(t *testing.T, srv *httptest.Server) api.TraceResponse {
+	t.Helper()
+	resp := do(t, newReq(t, http.MethodGet, srv.URL+"/v1/trace", nil, nil))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/trace = %d, want 200", resp.StatusCode)
+	}
+	var tr api.TraceResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestV1TraceRoute drives predictions through a Trace-enabled model and
+// checks GET /v1/trace reports the per-layer breakdown: every layer span
+// counted once per forward, and layer totals summing to within 10% of the
+// whole-forward span (the per-layer timing acceptance criterion, over the
+// replica pool and the batched path).
+func TestV1TraceRoute(t *testing.T) {
+	srv, done := tracedTestServer(t, 83)
+	defer done()
+
+	body := tensorBody(t, testDim, testSamples(1, 5)[0].Voxels)
+	const n = 12
+	for i := 0; i < n; i++ {
+		resp := do(t, newReq(t, http.MethodPost,
+			srv.URL+"/v1/models/"+DefaultModel+":predict", body,
+			map[string]string{"Content-Type": wire.ContentTypeTensor}))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict %d = %d, want 200", i, resp.StatusCode)
+		}
+	}
+
+	tr := getTrace(t, srv)
+	if !tr.Enabled {
+		t.Fatal("trace response Enabled = false for a traced model")
+	}
+	if len(tr.Models) != 1 || tr.Models[0].Model != DefaultModel {
+		t.Fatalf("Models = %+v, want one entry for %q", tr.Models, DefaultModel)
+	}
+	m := tr.Models[0]
+	// Micro-batching may fold requests together, but every request passes
+	// through some forward, so 1 <= forwards <= n.
+	if m.Forward.Count < 1 || m.Forward.Count > n {
+		t.Errorf("Forward.Count = %d, want in [1, %d]", m.Forward.Count, n)
+	}
+	if len(m.Layers) == 0 {
+		t.Fatal("no layer spans in trace")
+	}
+	var layerSum float64
+	for _, st := range m.Layers {
+		if st.Count != m.Forward.Count {
+			t.Errorf("layer %s count = %d, want %d (one observation per forward)",
+				st.Name, st.Count, m.Forward.Count)
+		}
+		layerSum += st.TotalMs
+	}
+	if m.Forward.TotalMs <= 0 {
+		t.Fatal("forward span recorded no time")
+	}
+	if rel := math.Abs(layerSum-m.Forward.TotalMs) / m.Forward.TotalMs; rel > 0.10 {
+		t.Errorf("layer totals %.3fms vs forward %.3fms: off by %.1f%% (>10%%)",
+			layerSum, m.Forward.TotalMs, rel*100)
+	}
+
+	// The same breakdown rides along in /stats under the model entry.
+	resp := do(t, newReq(t, http.MethodGet, srv.URL+"/stats", nil, nil))
+	var stats api.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	ms, ok := stats.Models[DefaultModel]
+	if !ok {
+		t.Fatalf("/stats missing model %q", DefaultModel)
+	}
+	if ms.Forward == nil || ms.Forward.Count != m.Forward.Count {
+		t.Errorf("/stats forward = %+v, want count %d", ms.Forward, m.Forward.Count)
+	}
+	if len(ms.Layers) != len(m.Layers) {
+		t.Errorf("/stats layers = %d, want %d", len(ms.Layers), len(m.Layers))
+	}
+
+	if resp := do(t, newReq(t, http.MethodPost, srv.URL+"/v1/trace", nil, nil)); resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/trace = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestV1TraceDisabledByDefault: a model loaded without Trace must not
+// appear in /v1/trace, and /stats must omit the layers section entirely.
+func TestV1TraceDisabledByDefault(t *testing.T) {
+	_, srv, done := v1TestServer(t, 89)
+	defer done()
+
+	body := tensorBody(t, testDim, testSamples(1, 6)[0].Voxels)
+	resp := do(t, newReq(t, http.MethodPost,
+		srv.URL+"/v1/models/"+DefaultModel+":predict", body,
+		map[string]string{"Content-Type": wire.ContentTypeTensor}))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("predict = %d, want 200", resp.StatusCode)
+	}
+
+	tr := getTrace(t, srv)
+	if tr.Enabled || len(tr.Models) != 0 {
+		t.Errorf("untraced server trace = %+v, want Enabled=false, no models", tr)
+	}
+
+	resp = do(t, newReq(t, http.MethodGet, srv.URL+"/stats", nil, nil))
+	var stats api.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if ms := stats.Models[DefaultModel]; ms.Forward != nil || ms.Layers != nil {
+		t.Errorf("untraced /stats has layers section: forward %+v layers %+v", ms.Forward, ms.Layers)
+	}
+}

@@ -1,0 +1,65 @@
+#!/bin/sh
+# Collects the machine-readable benchmark trajectory: one BENCH_<area>.json
+# per area (kernel, dist, serve, gateway) under $BENCH_OUT, each stamped
+# with the git SHA and the cosmoflow-bench/v1 schema. Invoked by
+# `make bench-json`; `make bench-compare` (cosmoflow-benchdiff) then gates
+# the result against the committed bench/baseline/. Sizes are deliberately
+# reduced (16³ volumes, base 4) so a full collection stays in CI budget;
+# the trajectory tracks relative movement, not paper-scale absolutes.
+set -eu
+
+BENCH_BIN=${BENCH_BIN:-/tmp/cosmoflow-bench}
+SERVE_BIN=${SERVE_BIN:-/tmp/cosmoflow-serve}
+GATEWAY_BIN=${GATEWAY_BIN:-/tmp/cosmoflow-gateway}
+LOADGEN_BIN=${LOADGEN_BIN:-/tmp/cosmoflow-loadgen}
+BENCH_OUT=${BENCH_OUT:-bench/out}
+BENCH_DIM=${BENCH_DIM:-16}
+BENCH_N=${BENCH_N:-192}
+BENCH_C=${BENCH_C:-8}
+BENCH_ITERS=${BENCH_ITERS:-3}
+
+mkdir -p "$BENCH_OUT"
+
+wait_ready() {
+    url=$1
+    for _ in $(seq 1 150); do
+        if curl -sf "$url/healthz" >/dev/null 2>&1; then return 0; fi
+        sleep 0.2
+    done
+    echo "FAIL: $url never became ready" >&2
+    return 1
+}
+
+echo "== kernel (Table-I conv sweep, ${BENCH_DIM}^3) =="
+"$BENCH_BIN" -area kernel -dim "$BENCH_DIM" -base 4 -iters "$BENCH_ITERS" \
+    -json "$BENCH_OUT/BENCH_kernel.json"
+
+echo "== dist (comm collectives, in-process worlds) =="
+"$BENCH_BIN" -area dist -iters "$BENCH_ITERS" -json "$BENCH_OUT/BENCH_dist.json"
+
+S1=http://127.0.0.1:18191
+S2=http://127.0.0.1:18192
+GW_ADDR=127.0.0.1:18190
+GW=http://$GW_ADDR
+
+cleanup() {
+    kill -TERM ${GWPID:-} ${P1:-} ${P2:-} 2>/dev/null || true
+    wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+echo "== serve (closed-loop loadgen vs one backend) =="
+"$SERVE_BIN" -addr 127.0.0.1:18191 -dim "$BENCH_DIM" -base 4 -replicas 2 -trace & P1=$!
+wait_ready "$S1"
+"$LOADGEN_BIN" -addr "$S1" -n "$BENCH_N" -c "$BENCH_C" -dim "$BENCH_DIM" \
+    -wire binary -bench-area serve -json "$BENCH_OUT/BENCH_serve.json"
+
+echo "== gateway (loadgen vs 2 backends behind the gateway) =="
+"$SERVE_BIN" -addr 127.0.0.1:18192 -dim "$BENCH_DIM" -base 4 -replicas 2 & P2=$!
+"$GATEWAY_BIN" -addr "$GW_ADDR" -backends "$S1,$S2" -probe-interval 200ms -trace & GWPID=$!
+wait_ready "$GW"
+"$LOADGEN_BIN" -addr "$GW" -n "$BENCH_N" -c "$BENCH_C" -dim "$BENCH_DIM" \
+    -wire binary -bench-area gateway -json "$BENCH_OUT/BENCH_gateway.json"
+
+echo "== collected =="
+ls -l "$BENCH_OUT"/BENCH_*.json
