@@ -5,11 +5,11 @@
 
 GO ?= go
 
-.PHONY: check ci fmt vet build test race bench bench-smoke serve-smoke api-smoke dist-smoke fuzz-smoke gateway-smoke bench-json bench-compare
+.PHONY: check ci fmt vet build test race bench bench-smoke serve-smoke api-smoke dist-smoke fuzz-smoke gateway-smoke tenancy-smoke bench-json bench-compare
 
 check: fmt vet build test
 
-ci: fmt vet build test race fuzz-smoke bench-smoke serve-smoke api-smoke dist-smoke gateway-smoke bench-json bench-compare
+ci: fmt vet build test race fuzz-smoke bench-smoke serve-smoke api-smoke dist-smoke gateway-smoke tenancy-smoke bench-json bench-compare
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -103,4 +103,17 @@ gateway-smoke:
 	$(GO) build -o /tmp/cosmoflow-serve ./cmd/cosmoflow-serve
 	$(GO) build -o /tmp/cosmoflow-gateway ./cmd/cosmoflow-gateway
 	$(GO) build -o /tmp/cosmoflow-loadgen ./cmd/cosmoflow-loadgen
+	$(GO) build -o /tmp/cosmoflow-gwctl ./cmd/cosmoflow-gwctl
 	sh scripts/gateway_smoke.sh
+
+# Multi-tenant + autoscaling smoke: a 3-class overload must keep premium
+# p99 flat while best-effort sheds with 429s and nothing 5xxes, and a
+# supervised gateway (no static backends) must scale 1 -> max under load
+# and retire back to min when idle, with zero client-visible failures
+# (scripts/tenancy_smoke.sh).
+tenancy-smoke:
+	$(GO) build -o /tmp/cosmoflow-serve ./cmd/cosmoflow-serve
+	$(GO) build -o /tmp/cosmoflow-gateway ./cmd/cosmoflow-gateway
+	$(GO) build -o /tmp/cosmoflow-loadgen ./cmd/cosmoflow-loadgen
+	$(GO) build -o /tmp/cosmoflow-gwctl ./cmd/cosmoflow-gwctl
+	sh scripts/tenancy_smoke.sh

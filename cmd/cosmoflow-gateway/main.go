@@ -10,15 +10,32 @@
 //	    -backends http://h1:8080,http://h2:8080,http://h3:8080 \
 //	    -policy least-outstanding
 //
-// Endpoints (DESIGN.md "Cluster serving"):
+// The gateway is also the multi-tenant front door: -tenants seeds
+// per-API-key rate limits and priority classes, bounded priority queues
+// shed overload with 429 + Retry-After before any backend sees it, and
+// -supervise turns on the autoscaling backend supervisor (the gateway
+// spawns and retires local cosmoflow-serve processes from observed queue
+// wait — -backends may then be empty):
+//
+//	cosmoflow-gateway -addr :8090 -supervise -serve-bin ./bin/cosmoflow-serve \
+//	    -serve-args "-preload demo" -scale-min 1 -scale-max 4 \
+//	    -tenants tenants.json -admin-key s3cret
+//
+// Endpoints (DESIGN.md "Cluster serving" and "Serving API v1"):
 //
 //	POST   /v1/models/{name}:predict  proxied single volume, or scatter-gather
 //	                                  batch ([N C D H W] frame / JSON {"batch"})
 //	GET    /v1/models[/{name}]        pool-wide aggregated model view
 //	PUT    /v1/models/{name}          load broadcast to every reachable backend
 //	DELETE /v1/models/{name}          unload broadcast
+//	GET    /v1/admin/tenants          admin plane: tenant CRUD (PUT upserts,
+//	PUT    /v1/admin/tenants          hot-reloaded; DELETE /tenants/{key})
+//	GET    /v1/admin/supervisor       autoscaler status + recent decisions
+//	GET    /v1/admin/canary           canary rules + counters (PUT upserts)
+//	POST   /predict                   deprecated v0 alias, same admission path
 //	GET    /healthz                   503 until ≥1 backend is ready per model
-//	GET    /stats                     routing counters + per-backend status
+//	GET    /stats                     cosmoflow-stats/v2: routing counters,
+//	                                  per-backend + per-tenant + admission view
 //
 // /healthz follows the same readiness contract as a single backend, so
 // orchestrators and smoke scripts reuse one poll for both tiers.
@@ -26,6 +43,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"log"
 	"net/http"
@@ -37,6 +55,7 @@ import (
 	"time"
 
 	"repro/internal/gateway"
+	"repro/internal/serve/api"
 )
 
 // startDebugListener serves net/http/pprof on its own listener, so
@@ -76,16 +95,64 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
 	trace := flag.Bool("trace", false, "record per-request phase attribution and per-backend upstream spans (GET /v1/trace)")
 	debugAddr := flag.String("debug-addr", "", "pprof debug listen address, e.g. localhost:6061 (empty: disabled)")
+
+	tenantsFile := flag.String("tenants", "", "JSON tenant table file ({\"tenants\":[{\"key\",\"name\",\"class\",\"rate_per_sec\",\"burst\"}]}); empty leaves the data plane open")
+	adminKey := flag.String("admin-key", "", "operator key guarding /v1/admin/* (empty leaves the admin plane open)")
+	admCapacity := flag.Int("admission-capacity", 64, "concurrent requests admitted past the front door")
+	queueDepth := flag.Int("queue-depth", 64, "standard-class admission queue depth (premium 2x, best-effort half)")
+	queueTimeout := flag.Duration("queue-timeout", 5*time.Second, "max time a request may wait in the admission queue before 429")
+
+	supervise := flag.Bool("supervise", false, "autoscale local cosmoflow-serve processes from observed queue wait (-backends may be empty)")
+	serveBin := flag.String("serve-bin", "cosmoflow-serve", "cosmoflow-serve binary the supervisor spawns")
+	serveArgs := flag.String("serve-args", "", "space-separated flags passed to each spawned cosmoflow-serve (-addr is appended per process)")
+	scaleMin := flag.Int("scale-min", 1, "supervised fleet floor (launched at startup)")
+	scaleMax := flag.Int("scale-max", 4, "supervised fleet ceiling")
+	scaleUpWait := flag.Duration("scale-up-wait", 50*time.Millisecond, "smoothed queue wait that marks the gateway hot")
+	scaleSustain := flag.Duration("scale-sustain", 2*time.Second, "how long the hot signal must hold before a scale-up")
+	scaleIdle := flag.Duration("scale-idle", 15*time.Second, "how long the gateway must be idle before a scale-down")
+	scaleCooldown := flag.Duration("scale-cooldown", 5*time.Second, "minimum spacing between scale decisions")
 	flag.Parse()
 
-	if *backends == "" {
-		log.Fatal("-backends is required (comma-separated cosmoflow-serve base URLs)")
+	if *backends == "" && !*supervise {
+		log.Fatal("-backends is required (comma-separated cosmoflow-serve base URLs), or enable -supervise")
 	}
 	if *debugAddr != "" {
 		startDebugListener(*debugAddr)
 	}
+	var tenants []api.Tenant
+	if *tenantsFile != "" {
+		data, err := os.ReadFile(*tenantsFile)
+		if err != nil {
+			log.Fatalf("-tenants: %v", err)
+		}
+		var tl api.TenantList
+		if err := json.Unmarshal(data, &tl); err != nil {
+			log.Fatalf("-tenants %s: %v", *tenantsFile, err)
+		}
+		tenants = tl.Tenants
+	}
+	var supCfg *gateway.SupervisorConfig
+	if *supervise {
+		supCfg = &gateway.SupervisorConfig{
+			Launcher: &gateway.ProcessLauncher{
+				Bin:  *serveBin,
+				Args: strings.Fields(*serveArgs),
+			},
+			Min:          *scaleMin,
+			Max:          *scaleMax,
+			ScaleUpWait:  *scaleUpWait,
+			SustainFor:   *scaleSustain,
+			IdleFor:      *scaleIdle,
+			Cooldown:     *scaleCooldown,
+			DrainTimeout: *drainTimeout,
+		}
+	}
+	var backendList []string
+	if *backends != "" {
+		backendList = strings.Split(*backends, ",")
+	}
 	gw, err := gateway.New(gateway.Config{
-		Backends:        strings.Split(*backends, ","),
+		Backends:        backendList,
 		Policy:          *policy,
 		ProbeInterval:   *probeInterval,
 		ProbeTimeout:    *probeTimeout,
@@ -96,6 +163,14 @@ func main() {
 		HedgePercentile: *hedgePct,
 		HedgeMin:        *hedgeMin,
 		Trace:           *trace,
+		Tenants:         tenants,
+		AdminKey:        *adminKey,
+		Admission: gateway.AdmissionConfig{
+			Capacity:     *admCapacity,
+			QueueDepth:   *queueDepth,
+			QueueTimeout: *queueTimeout,
+		},
+		Supervisor: supCfg,
 	})
 	if err != nil {
 		log.Fatal(err)

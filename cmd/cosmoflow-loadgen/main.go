@@ -22,12 +22,24 @@
 // -dump-body writes one encoded request body to a file and exits, for
 // curl-based smoke tests of the raw HTTP surface (see `make api-smoke`).
 //
+// -tenants runs the multi-tenant overload scenario against a gateway:
+// each spec is label:apikey:workers:requests, all tenants drive the
+// gateway concurrently through their own WithAPIKey clients, and one
+// machine-parseable result line per tenant reports qps/p50/p99 plus the
+// shed (429) and failure (5xx/transport) counts. A 429 is the admission
+// controller doing its job — it never fails the run; 5xx and transport
+// errors do (see `make tenancy-smoke`):
+//
+//	cosmoflow-loadgen -addr http://localhost:8090 \
+//	    -tenants "prem:PK:4:200,std:SK:16:400,be:BK:16:400"
+//
 // Exit status is non-zero if any request fails, so scripts can assert the
 // zero-error acceptance criterion.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -159,6 +171,133 @@ func printSpread(r runResult) {
 	}
 }
 
+// tenantSpec is one -tenants entry: label:apikey:workers:requests.
+type tenantSpec struct {
+	label string
+	key   string
+	c     int
+	n     int
+}
+
+func parseTenantSpecs(s string) ([]tenantSpec, error) {
+	var specs []tenantSpec
+	for _, f := range strings.Split(s, ",") {
+		parts := strings.Split(strings.TrimSpace(f), ":")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("bad tenant spec %q (want label:apikey:workers:requests)", f)
+		}
+		c, err1 := strconv.Atoi(parts[2])
+		n, err2 := strconv.Atoi(parts[3])
+		if err1 != nil || err2 != nil || c < 1 || n < 1 {
+			return nil, fmt.Errorf("bad tenant spec %q: workers and requests must be positive", f)
+		}
+		specs = append(specs, tenantSpec{label: parts[0], key: parts[1], c: c, n: n})
+	}
+	return specs, nil
+}
+
+// tenantResult is one tenant's closed-loop outcome: sheds (429, the
+// admission controller working as designed) are tracked apart from
+// failures (5xx/transport, which fail the run).
+type tenantResult struct {
+	runResult
+	shed int64
+}
+
+// runTenant drives one tenant's closed loop. A 429 backs off per the
+// server's Retry-After (capped so an overload demo still hammers), then
+// the worker continues — the closed loop models a well-behaved client.
+func runTenant(cl *client.Client, model string, bodies []encodedBody, spec tenantSpec) tenantResult {
+	ctx := context.Background()
+	var next, shed, failures atomic.Int64
+	latencies := make([]time.Duration, spec.n)
+	backends := make([]string, spec.n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < spec.c; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= spec.n {
+					return
+				}
+				b := bodies[i%len(bodies)]
+				t0 := time.Now()
+				pr, err := cl.PredictEncoded(ctx, model, b.data, b.ct)
+				if err != nil {
+					latencies[i] = -1
+					var apiErr *client.APIError
+					if errors.As(err, &apiErr) && apiErr.StatusCode == 429 {
+						shed.Add(1)
+						backoff := apiErr.RetryAfter
+						if backoff <= 0 || backoff > 200*time.Millisecond {
+							backoff = 200 * time.Millisecond
+						}
+						time.Sleep(backoff)
+						continue
+					}
+					failures.Add(1)
+					log.Printf("tenant %s request %d: %v", spec.label, i, err)
+					continue
+				}
+				latencies[i] = time.Since(t0)
+				backends[i] = pr.Backend
+			}
+		}()
+	}
+	wg.Wait()
+	res := tenantResult{runResult: runResult{
+		elapsed:  time.Since(start),
+		failures: failures.Load(),
+		spread:   map[string]int64{},
+	}, shed: shed.Load()}
+	for i, l := range latencies {
+		if l < 0 {
+			continue
+		}
+		res.ok = append(res.ok, l)
+		if backends[i] != "" {
+			res.spread[backends[i]]++
+		}
+	}
+	sort.Slice(res.ok, func(i, j int) bool { return res.ok[i] < res.ok[j] })
+	return res
+}
+
+// runTenantScenario fans every tenant's closed loop out concurrently and
+// prints one machine-parseable line per tenant.
+func runTenantScenario(addr, model string, bodies []encodedBody, specs []tenantSpec, enc client.Encoding, timeout time.Duration) int {
+	results := make([]tenantResult, len(specs))
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		cl := client.New(addr,
+			client.WithEncoding(enc),
+			client.WithTimeout(timeout),
+			client.WithAPIKey(spec.key))
+		wg.Add(1)
+		go func(i int, spec tenantSpec) {
+			defer wg.Done()
+			results[i] = runTenant(cl, model, bodies, spec)
+		}(i, spec)
+	}
+	wg.Wait()
+	msOf := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	exit := 0
+	for i, spec := range specs {
+		r := results[i]
+		// One line per tenant, key=value so shell smoke tests parse it.
+		fmt.Printf("tenant %s ok=%d shed=%d fail=%d qps=%.1f p50_ms=%.2f p99_ms=%.2f\n",
+			spec.label, len(r.ok), r.shed, r.failures, r.qps(),
+			msOf(r.quantile(0.50)), msOf(r.quantile(0.99)))
+		if r.failures > 0 {
+			exit = 1
+		}
+	}
+	return exit
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("cosmoflow-loadgen: ")
@@ -173,6 +312,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "synthetic sample seed")
 	wireFlag := flag.String("wire", "binary", "request/response encoding: json or binary")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-request round-trip cap")
+	apiKey := flag.String("api-key", "", "tenant API key sent with every request (gateway admission control)")
+	tenantsFlag := flag.String("tenants", "", "multi-tenant scenario: comma-separated label:apikey:workers:requests specs (overrides -n/-c/-sweep)")
 	dumpBody := flag.String("dump-body", "", "write one encoded request body to FILE and exit")
 	jsonPath := flag.String("json", "", "also write an obsv benchmark report to this path (empty: stdout only)")
 	benchArea := flag.String("bench-area", "serve", "report area recorded with -json: serve or gateway")
@@ -195,6 +336,14 @@ func main() {
 		}
 	}
 
+	var tenantSpecs []tenantSpec
+	if *tenantsFlag != "" {
+		tenantSpecs, err = parseTenantSpecs(*tenantsFlag)
+		if err != nil {
+			log.Fatalf("-tenants: %v", err)
+		}
+	}
+
 	// Pre-generate a pool of deterministic synthetic volumes and encode
 	// them once, so request construction stays off the measured path and
 	// the comparison isolates the wire + server cost per encoding.
@@ -202,6 +351,11 @@ func main() {
 	for _, l := range levels {
 		if l > maxC {
 			maxC = l
+		}
+	}
+	for _, ts := range tenantSpecs {
+		if ts.c > maxC {
+			maxC = ts.c
 		}
 	}
 	nSamples := maxC * 4
@@ -236,9 +390,14 @@ func main() {
 		return
 	}
 
+	if len(tenantSpecs) > 0 {
+		os.Exit(runTenantScenario(*addr, *model, bodies, tenantSpecs, enc, *timeout))
+	}
+
 	cl := client.New(*addr,
 		client.WithEncoding(enc),
-		client.WithTimeout(*timeout))
+		client.WithTimeout(*timeout),
+		client.WithAPIKey(*apiKey))
 
 	var rep *obsv.Report
 	if *jsonPath != "" {

@@ -1,0 +1,121 @@
+package gateway
+
+// Admin plane: the /v1/admin/* route group — tenants CRUD, supervisor
+// status, canary weights. It is an explicit control surface next to the
+// tenant-facing data plane (DESIGN.md "Serving API v1"): same typed
+// error envelope, same 405 + Allow discipline, same X-Request-Id
+// propagation, but guarded by the operator key instead of tenant keys,
+// and never subject to admission control (an overloaded gateway must
+// still be operable).
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+
+	"repro/internal/serve/api"
+)
+
+// authorizeAdmin gates the admin plane on Config.AdminKey. An empty key
+// leaves the plane open (single-operator dev mode, matching the open
+// data plane when no tenants are configured).
+func (g *Gateway) authorizeAdmin(w http.ResponseWriter, r *http.Request, rid string) bool {
+	if g.cfg.AdminKey == "" || r.Header.Get(api.HeaderAPIKey) == g.cfg.AdminKey {
+		return true
+	}
+	writeAPIError(w, rid, http.StatusUnauthorized, api.CodeUnauthenticated,
+		"admin API requires the operator key in "+api.HeaderAPIKey)
+	return false
+}
+
+// handleAdmin dispatches /v1/admin/{tenants,supervisor,canary}.
+func (g *Gateway) handleAdmin(w http.ResponseWriter, r *http.Request) {
+	rid := requestID(w, r)
+	if !g.authorizeAdmin(w, r, rid) {
+		return
+	}
+	rest := strings.TrimPrefix(r.URL.Path, "/v1/admin/")
+	switch {
+	case rest == "tenants":
+		g.handleTenants(w, r, rid)
+	case strings.HasPrefix(rest, "tenants/"):
+		g.handleTenantItem(w, r, rid, strings.TrimPrefix(rest, "tenants/"))
+	case rest == "supervisor":
+		g.handleSupervisor(w, r, rid)
+	case rest == "canary":
+		g.handleCanary(w, r, rid)
+	default:
+		writeAPIError(w, rid, http.StatusNotFound, api.CodeNotFound, "no such route: "+r.URL.Path)
+	}
+}
+
+// handleTenants answers GET (list) and PUT (upsert one tenant — the hot
+// reload path: effective for the next request, no restart).
+func (g *Gateway) handleTenants(w http.ResponseWriter, r *http.Request, rid string) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, api.TenantList{Tenants: g.tenants.list()})
+	case http.MethodPut:
+		var spec api.Tenant
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&spec); err != nil {
+			writeAPIError(w, rid, http.StatusBadRequest, api.CodeInvalidArgument, "decoding tenant: "+err.Error())
+			return
+		}
+		if err := g.tenants.upsert(spec); err != nil {
+			writeAPIError(w, rid, http.StatusBadRequest, api.CodeInvalidArgument, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, api.TenantList{Tenants: g.tenants.list()})
+	default:
+		methodNotAllowed(w, rid, http.MethodGet, http.MethodPut)
+	}
+}
+
+// handleTenantItem answers DELETE /v1/admin/tenants/{key}.
+func (g *Gateway) handleTenantItem(w http.ResponseWriter, r *http.Request, rid, key string) {
+	if r.Method != http.MethodDelete {
+		methodNotAllowed(w, rid, http.MethodDelete)
+		return
+	}
+	if !g.tenants.remove(key) {
+		writeAPIError(w, rid, http.StatusNotFound, api.CodeNotFound, "unknown tenant key")
+		return
+	}
+	writeJSON(w, http.StatusOK, api.TenantList{Tenants: g.tenants.list()})
+}
+
+// handleSupervisor answers GET /v1/admin/supervisor: the autoscaler
+// status, or Enabled false when the gateway runs a static pool.
+func (g *Gateway) handleSupervisor(w http.ResponseWriter, r *http.Request, rid string) {
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, rid, http.MethodGet)
+		return
+	}
+	if g.sup == nil {
+		writeJSON(w, http.StatusOK, api.SupervisorStatus{Enabled: false})
+		return
+	}
+	writeJSON(w, http.StatusOK, g.sup.status())
+}
+
+// handleCanary answers GET (rules + counters) and PUT (upsert one rule;
+// an empty candidate deletes the model's rule).
+func (g *Gateway) handleCanary(w http.ResponseWriter, r *http.Request, rid string) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, g.canary.statuses())
+	case http.MethodPut:
+		var rule api.CanaryRule
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&rule); err != nil {
+			writeAPIError(w, rid, http.StatusBadRequest, api.CodeInvalidArgument, "decoding canary rule: "+err.Error())
+			return
+		}
+		if err := g.canary.set(rule); err != nil {
+			writeAPIError(w, rid, http.StatusBadRequest, api.CodeInvalidArgument, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusOK, g.canary.statuses())
+	default:
+		methodNotAllowed(w, rid, http.MethodGet, http.MethodPut)
+	}
+}

@@ -1,0 +1,140 @@
+package gateway
+
+// Weighted/canary routing: a per-model rule diverts N% of predict
+// traffic to a candidate model version (client-visible rollout), or — in
+// shadow mode — keeps the incumbent answering every client while N% of
+// requests are duplicated to the candidate in the background and their
+// normalized outputs compared. The deterministic modulo split (not
+// random sampling) makes the observed share exact over any 100-request
+// window, which is what a rollout dashboard wants to verify against.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/serve/api"
+)
+
+// canaryRule is one model's live rule plus counters.
+type canaryRule struct {
+	mu   sync.Mutex // guards spec and lastMismatch
+	spec api.CanaryRule
+
+	n            atomic.Uint64 // split cursor
+	requests     atomic.Int64
+	canaried     atomic.Int64
+	shadowed     atomic.Int64
+	mismatches   atomic.Int64
+	lastMismatch string
+}
+
+func (r *canaryRule) snapshot() api.CanaryRule {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.spec
+}
+
+func (r *canaryRule) recordMismatch(rid string) {
+	r.mismatches.Add(1)
+	r.mu.Lock()
+	r.lastMismatch = rid
+	r.mu.Unlock()
+}
+
+func (r *canaryRule) status() api.CanaryStatus {
+	r.mu.Lock()
+	spec, last := r.spec, r.lastMismatch
+	r.mu.Unlock()
+	return api.CanaryStatus{
+		CanaryRule:   spec,
+		Requests:     r.requests.Load(),
+		Canaried:     r.canaried.Load(),
+		Shadowed:     r.shadowed.Load(),
+		Mismatches:   r.mismatches.Load(),
+		LastMismatch: last,
+	}
+}
+
+// canaryTable is the hot-reloadable model → rule map.
+type canaryTable struct {
+	mu    sync.RWMutex
+	rules map[string]*canaryRule
+}
+
+func newCanaryTable() *canaryTable {
+	return &canaryTable{rules: map[string]*canaryRule{}}
+}
+
+// set installs, updates, or (with an empty candidate) deletes a rule.
+// Counters persist across updates to the same model's rule.
+func (ct *canaryTable) set(spec api.CanaryRule) error {
+	if spec.Model == "" {
+		return errors.New("gateway: canary rule needs a model")
+	}
+	if spec.Candidate == "" {
+		ct.mu.Lock()
+		delete(ct.rules, spec.Model)
+		ct.mu.Unlock()
+		return nil
+	}
+	if spec.Candidate == spec.Model {
+		return errors.New("gateway: canary candidate must differ from the incumbent")
+	}
+	if spec.Percent < 0 || spec.Percent > 100 {
+		return fmt.Errorf("gateway: canary percent %d out of range 0..100", spec.Percent)
+	}
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	r, ok := ct.rules[spec.Model]
+	if !ok {
+		r = &canaryRule{}
+		ct.rules[spec.Model] = r
+	}
+	r.mu.Lock()
+	r.spec = spec
+	r.mu.Unlock()
+	return nil
+}
+
+// route consults the table for one predict: upstream is the model name
+// to forward (the candidate on a diverted request), shadow the model to
+// duplicate to in the background ("" when none). rule is nil when the
+// model has no rule.
+func (ct *canaryTable) route(model string) (upstream, shadow string, rule *canaryRule) {
+	ct.mu.RLock()
+	r := ct.rules[model]
+	ct.mu.RUnlock()
+	if r == nil {
+		return model, "", nil
+	}
+	spec := r.snapshot()
+	r.requests.Add(1)
+	sampled := int(r.n.Add(1)-1)%100 < spec.Percent
+	if !sampled {
+		return model, "", r
+	}
+	if spec.Shadow {
+		return model, spec.Candidate, r
+	}
+	r.canaried.Add(1)
+	return spec.Candidate, "", r
+}
+
+// statuses snapshots every rule sorted by model.
+func (ct *canaryTable) statuses() []api.CanaryStatus {
+	ct.mu.RLock()
+	rules := make([]*canaryRule, 0, len(ct.rules))
+	for _, r := range ct.rules {
+		rules = append(rules, r)
+	}
+	ct.mu.RUnlock()
+	out := make([]api.CanaryStatus, 0, len(rules))
+	for _, r := range rules {
+		out = append(out, r.status())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Model < out[j].Model })
+	return out
+}

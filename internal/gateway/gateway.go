@@ -31,6 +31,7 @@
 package gateway
 
 import (
+	"bytes"
 	"context"
 	"crypto/rand"
 	"encoding/hex"
@@ -61,7 +62,8 @@ const maxBodyBytes = 256 << 20
 // Config parameterizes a Gateway. Zero values take the documented
 // defaults.
 type Config struct {
-	// Backends are the cosmoflow-serve base URLs to front. Required.
+	// Backends are the cosmoflow-serve base URLs to front. Required
+	// unless Supervisor is set (the supervisor launches the Min floor).
 	Backends []string
 	// Policy is the routing policy: PolicyLeastOutstanding (default) or
 	// PolicyConsistentHash.
@@ -96,6 +98,21 @@ type Config struct {
 	// spans accumulate — both served by GET /v1/trace. Off by default; the
 	// untraced proxy path pays one nil check per request.
 	Trace bool
+	// Tenants seeds the API-key table. Empty leaves the data plane open
+	// (every request is the anonymous standard-class tenant); the first
+	// tenant — seeded here or via PUT /v1/admin/tenants — turns
+	// authentication on.
+	Tenants []api.Tenant
+	// AdminKey guards /v1/admin/*. Empty leaves the admin plane open.
+	AdminKey string
+	// Admission bounds concurrent work and the priority queues in front of
+	// it; zero values take AdmissionConfig's defaults.
+	Admission AdmissionConfig
+	// Supervisor, when non-nil, enables the autoscaling backend
+	// supervisor: the pool may start empty and grows/shrinks between
+	// Supervisor.Min and Max from the admission controller's queue-wait
+	// signal.
+	Supervisor *SupervisorConfig
 }
 
 func (cfg *Config) applyDefaults() {
@@ -148,18 +165,27 @@ type Gateway struct {
 	lat    *latWindow
 	start  time.Time
 
+	// Multi-tenant front door: API-key table, bounded admission gate,
+	// canary rules, and (optionally) the autoscaling supervisor.
+	tenants *tenantTable
+	adm     *admission
+	canary  *canaryTable
+	sup     *Supervisor
+
+	// legacyHC carries deprecated /predict alias forwards (the typed
+	// clients only speak v1).
+	legacyHC *http.Client
+
 	// reqLog retains recent per-request phase breakdowns and upRec the
 	// per-backend upstream spans; both nil unless Config.Trace.
 	reqLog *obsv.RequestLog
 	upRec  *obsv.Recorder
 }
 
-// New builds a Gateway and starts its probe loops. Callers must Close it.
+// New builds a Gateway and starts its probe loops (and, when configured,
+// the backend supervisor). Callers must Close it.
 func New(cfg Config) (*Gateway, error) {
 	cfg.applyDefaults()
-	if len(cfg.Backends) == 0 {
-		return nil, errors.New("gateway: at least one backend is required")
-	}
 	seen := map[string]bool{}
 	var addrs []string
 	for _, a := range cfg.Backends {
@@ -170,38 +196,80 @@ func New(cfg Config) (*Gateway, error) {
 		seen[a] = true
 		addrs = append(addrs, a)
 	}
-	if len(addrs) == 0 {
-		return nil, errors.New("gateway: at least one backend is required")
+	if len(addrs) == 0 && cfg.Supervisor == nil {
+		return nil, errors.New("gateway: at least one backend is required (or enable the supervisor)")
+	}
+	if cfg.Supervisor != nil && cfg.Supervisor.Launcher == nil {
+		return nil, errors.New("gateway: supervisor config needs a launcher")
 	}
 	pool := newPool(addrs, cfg)
 	policy, err := newPolicy(cfg.Policy, pool.Backends())
 	if err != nil {
 		return nil, err
 	}
+	now := time.Now
 	g := &Gateway{
-		cfg:    cfg,
-		pool:   pool,
-		policy: policy,
-		spread: &leastOutstanding{},
-		lat:    newLatWindow(512),
-		start:  time.Now(),
+		cfg:      cfg,
+		pool:     pool,
+		policy:   policy,
+		spread:   &leastOutstanding{},
+		lat:      newLatWindow(512),
+		start:    time.Now(),
+		tenants:  newTenantTable(now),
+		adm:      newAdmission(cfg.Admission, now),
+		canary:   newCanaryTable(),
+		legacyHC: &http.Client{Timeout: cfg.BackendTimeout},
+	}
+	for _, t := range cfg.Tenants {
+		if err := g.tenants.upsert(t); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.Trace {
 		g.reqLog = obsv.NewRequestLog(256)
 		g.upRec = obsv.NewRecorder()
 		// Pre-resolve each member's upstream span so the proxy path never
-		// takes the recorder's lock (the pool membership is fixed).
+		// takes the recorder's lock.
 		for _, b := range pool.Backends() {
 			b.upSpan = g.upRec.Span(b.addr)
 		}
 	}
+	// Membership changes (supervisor scale-up/down) rebuild whatever the
+	// routing layer precomputes over the member set, and install the trace
+	// span before the new member can take traffic.
+	pool.onChange = func(backends []*Backend) {
+		if hr, ok := g.policy.(*hashRing); ok {
+			hr.rebuild(backends)
+		}
+		if g.upRec != nil {
+			for _, b := range backends {
+				if b.upSpan == nil {
+					b.upSpan = g.upRec.Span(b.addr)
+				}
+			}
+		}
+	}
+	if cfg.Supervisor != nil {
+		g.sup = newSupervisor(*cfg.Supervisor, pool, g.adm.signal, now)
+		if err := g.sup.bootstrap(); err != nil {
+			return nil, fmt.Errorf("gateway: supervisor bootstrap: %w", err)
+		}
+	}
 	pool.start()
+	if g.sup != nil {
+		g.sup.run()
+	}
 	return g, nil
 }
 
-// Close stops the probe loops. In-flight proxied requests finish on their
-// own contexts.
-func (g *Gateway) Close() { g.pool.close() }
+// Close stops the supervisor (terminating its processes) and the probe
+// loops. In-flight proxied requests finish on their own contexts.
+func (g *Gateway) Close() {
+	if g.sup != nil {
+		g.sup.stop()
+	}
+	g.pool.close()
+}
 
 // Pool exposes the backend pool (tests, stats).
 func (g *Gateway) Pool() *Pool { return g.pool }
@@ -230,7 +298,9 @@ func (g *Gateway) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/models", g.handleModels)
 	mux.HandleFunc("/v1/models/", g.handleModelItem)
+	mux.HandleFunc("/v1/admin/", g.handleAdmin)
 	mux.HandleFunc("/v1/trace", g.handleTrace)
+	mux.HandleFunc("/predict", g.handleLegacyPredict)
 	mux.HandleFunc("/healthz", g.handleHealthz)
 	mux.HandleFunc("/stats", g.handleStats)
 	return mux
@@ -396,7 +466,9 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 		methodNotAllowed(w, rid, http.MethodGet)
 		return
 	}
+	adm := g.adm.stats()
 	resp := api.GatewayStatsResponse{
+		Schema:  api.StatsSchemaV2,
 		UptimeS: time.Since(g.start).Seconds(),
 		Policy:  g.policy.Name(),
 		Gateway: api.GatewayStats{
@@ -407,6 +479,13 @@ func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
 			HedgeWins: g.ctr.hedgeWins.Load(),
 			Scattered: g.ctr.scattered.Load(),
 		},
+		Tenants:   g.tenants.stats(),
+		Admission: &adm,
+		Canaries:  g.canary.statuses(),
+	}
+	if g.sup != nil {
+		st := g.sup.status()
+		resp.Supervisor = &st
 	}
 	for _, b := range g.pool.Backends() {
 		resp.Backends = append(resp.Backends, b.status())
@@ -433,13 +512,65 @@ func (g *Gateway) handleTrace(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// ---- predict: proxy, retry, hedge, scatter ----
+// ---- predict: admission, proxy, retry, hedge, scatter ----
+
+// admit runs the multi-tenant front door for one data-plane request:
+// resolve the API key to a tenant, pay its rate limit, and acquire an
+// admission slot (parking in the tenant's class queue when the gateway is
+// saturated). On refusal it writes the typed answer itself — 401 for an
+// unknown key, 429 + Retry-After for a rate-limited or shed request —
+// and returns ok false. On success the caller must invoke release once.
+func (g *Gateway) admit(w http.ResponseWriter, r *http.Request, rid string) (release func(), wait time.Duration, ok bool) {
+	t, err := g.tenants.resolve(r.Header.Get(api.HeaderAPIKey))
+	if err != nil {
+		writeAPIError(w, rid, http.StatusUnauthorized, api.CodeUnauthenticated, err.Error())
+		return nil, 0, false
+	}
+	w.Header().Set(api.HeaderTenant, t.snapshot().Name)
+	wait, release, err = g.adm.acquire(r.Context().Done(), t)
+	if err != nil {
+		var shed *shedError
+		if errors.As(err, &shed) {
+			w.Header().Set("Retry-After", strconv.Itoa(shed.retryAfterSeconds()))
+			writeAPIError(w, rid, http.StatusTooManyRequests, shed.code, shed.msg)
+		} else {
+			// The client went away while queued; the answer is for the log.
+			writeAPIError(w, rid, http.StatusServiceUnavailable, api.CodeUnavailable, err.Error())
+		}
+		return nil, 0, false
+	}
+	return release, wait, true
+}
+
+// predictCtx carries the front door's outcome into the dispatch paths:
+// the queue wait (traced as the "queue_wait" phase) and the canary
+// decision for this request.
+type predictCtx struct {
+	qwMs   float64     // admission queue wait, ms
+	shadow string      // model to duplicate to in the background ("" = none)
+	rule   *canaryRule // the rule behind shadow (nil when no rule fired)
+}
 
 // predict classifies the request — single volume (proxied raw) versus
 // batch (scatter-gather) — and dispatches. The body is buffered either
-// way: retries and hedges must be able to resend it verbatim.
+// way: retries and hedges must be able to resend it verbatim. Every
+// request pays the admission front door before any backend work, and
+// holds its slot until the response is written — the bound the admission
+// capacity actually enforces.
 func (g *Gateway) predict(w http.ResponseWriter, r *http.Request, rid, name string) {
 	g.ctr.requests.Add(1)
+	release, qwait, ok := g.admit(w, r, rid)
+	if !ok {
+		return
+	}
+	defer release()
+	// The canary decision renames the upstream model for a diverted
+	// request; in shadow mode the incumbent still answers and the
+	// candidate sees a background duplicate (single-volume path only —
+	// a scatter would multiply the duplicate cost by the batch size).
+	upstream, shadow, rule := g.canary.route(name)
+	pc := &predictCtx{qwMs: float64(qwait) / float64(time.Millisecond), shadow: shadow, rule: rule}
+	name = upstream
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	if err != nil {
 		var tooBig *http.MaxBytesError
@@ -476,9 +607,9 @@ func (g *Gateway) predict(w http.ResponseWriter, r *http.Request, rid, name stri
 		}
 		switch len(dims) {
 		case 3, 4:
-			g.proxyPredict(w, r, rid, name, body, wire.ContentTypeTensor, accept)
+			g.proxyPredict(w, r, rid, name, body, wire.ContentTypeTensor, accept, pc)
 		case 5:
-			g.scatterTensor(w, r, rid, name, body, dims, off, accept)
+			g.scatterTensor(w, r, rid, name, body, dims, off, accept, pc)
 		default:
 			writeAPIError(w, rid, http.StatusBadRequest, api.CodeInvalidArgument,
 				fmt.Sprintf("voxel tensors must be [D H W], [C D H W], or batched [N C D H W], got %d dims", len(dims)))
@@ -495,10 +626,10 @@ func (g *Gateway) predict(w http.ResponseWriter, r *http.Request, rid, name stri
 					"voxels and batch are mutually exclusive")
 				return
 			}
-			g.scatterJSON(w, r, rid, name, req.Batch, accept)
+			g.scatterJSON(w, r, rid, name, req.Batch, accept, pc)
 			return
 		}
-		g.proxyPredict(w, r, rid, name, body, ct, accept)
+		g.proxyPredict(w, r, rid, name, body, ct, accept, pc)
 	default:
 		writeAPIError(w, rid, http.StatusUnsupportedMediaType, api.CodeUnsupportedMedia,
 			"unsupported Content-Type "+ct+"; use "+wire.ContentTypeJSON+" or "+wire.ContentTypeTensor)
@@ -514,11 +645,19 @@ func msSince(t0 time.Time) float64 {
 	return float64(time.Since(t0)) / float64(time.Millisecond)
 }
 
+// shadowBufLimit bounds how much of an incumbent response the shadow
+// path will buffer for comparison; larger responses skip the shadow
+// (predict answers are tiny — this only guards pass-through of
+// something unexpected).
+const shadowBufLimit = 1 << 20
+
 // proxyPredict forwards a single-volume predict and streams the winning
 // backend's response through verbatim, tagged with X-Cosmoflow-Backend.
-// With tracing on, the request's upstream/write split lands in the
-// recent-request ring under its X-Request-Id.
-func (g *Gateway) proxyPredict(w http.ResponseWriter, r *http.Request, rid, name string, body []byte, ct, accept string) {
+// With tracing on, the request's queue/upstream/write split lands in the
+// recent-request ring under its X-Request-Id. A shadow canary buffers
+// the incumbent's answer and compares it against the candidate's in the
+// background — the client never waits on the duplicate.
+func (g *Gateway) proxyPredict(w http.ResponseWriter, r *http.Request, rid, name string, body []byte, ct, accept string, pc *predictCtx) {
 	var t0 time.Time
 	if g.reqLog != nil {
 		t0 = time.Now()
@@ -533,13 +672,56 @@ func (g *Gateway) proxyPredict(w http.ResponseWriter, r *http.Request, rid, name
 	if g.reqLog != nil {
 		upMs = msSince(t0)
 	}
+	if pc != nil && pc.shadow != "" && resp.StatusCode == http.StatusOK {
+		buf, rerr := io.ReadAll(io.LimitReader(resp.Body, shadowBufLimit+1))
+		if rerr == nil && len(buf) <= shadowBufLimit {
+			_ = resp.Body.Close()
+			go g.shadowCompare(pc.rule, rid, pc.shadow, body, ct, resp.StatusCode, resp.Header.Clone(), buf)
+			resp.Body = io.NopCloser(bytes.NewReader(buf))
+		} else {
+			// Too big (or mid-stream error): skip the shadow, stream what we
+			// have plus the rest through untouched.
+			resp.Body = readCloser{io.MultiReader(bytes.NewReader(buf), resp.Body), resp.Body}
+		}
+	}
 	copyResponse(w, resp, b.Addr())
 	if g.reqLog != nil {
 		total := msSince(t0)
 		g.reqLog.Add(obsv.RequestTrace{
 			RequestID: rid, Model: name, Backend: b.Addr(), TotalMs: total,
-			PhasesMs: map[string]float64{"upstream": upMs, "write": total - upMs},
+			PhasesMs: map[string]float64{"queue_wait": pc.qwMs, "upstream": upMs, "write": total - upMs},
 		})
+	}
+}
+
+// readCloser pairs a composed reader with the original body's closer.
+type readCloser struct {
+	io.Reader
+	io.Closer
+}
+
+// shadowCompare replays one predict against the shadow candidate and
+// compares normalized outputs; divergence (including a candidate error)
+// counts as a mismatch on the rule, surfaced by GET /v1/admin/canary.
+// Runs detached from the client's request on its own timeout.
+func (g *Gateway) shadowCompare(rule *canaryRule, rid, candidate string, body []byte, ct string, status int, hdr http.Header, buf []byte) {
+	rule.shadowed.Add(1)
+	inc, err := client.DecodePredict(&http.Response{
+		StatusCode: status, Header: hdr, Body: io.NopCloser(bytes.NewReader(buf)),
+	})
+	if err != nil {
+		return // incumbent answer not comparable; nothing to judge
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.BackendTimeout)
+	defer cancel()
+	resp, _, err := g.forwardWithRetry(ctx, rid, candidate, body, ct, wire.ContentTypeTensor)
+	if err != nil {
+		rule.recordMismatch(rid)
+		return
+	}
+	cand, err := client.DecodePredict(resp)
+	if err != nil || cand.Normalized != inc.Normalized {
+		rule.recordMismatch(rid)
 	}
 }
 
@@ -752,7 +934,7 @@ func (g *Gateway) hedgeDelay() time.Duration {
 // frames by re-framing raw payload slices (no element conversion — the
 // bytes each backend sees are exactly the bytes the client sent), routes
 // them across the ready pool, and reassembles the answers in input order.
-func (g *Gateway) scatterTensor(w http.ResponseWriter, r *http.Request, rid, name string, body []byte, dims []int, off int, accept string) {
+func (g *Gateway) scatterTensor(w http.ResponseWriter, r *http.Request, rid, name string, body []byte, dims []int, off int, accept string, pc *predictCtx) {
 	sub := dims[1:]
 	elems := 1
 	for _, d := range sub {
@@ -776,14 +958,14 @@ func (g *Gateway) scatterTensor(w http.ResponseWriter, r *http.Request, rid, nam
 		fb = append(fb, hdr...)
 		bodies[i] = append(fb, body[off+i*per:off+(i+1)*per]...)
 	}
-	g.scatter(w, r, rid, name, bodies, wire.ContentTypeTensor, accept)
+	g.scatter(w, r, rid, name, bodies, wire.ContentTypeTensor, accept, pc)
 }
 
 // scatterJSON is the JSON batch form: each volume re-encodes as its own
 // JSON predict body. float32 ↔ JSON round-trips exactly (shortest
 // representation), so backends decode the same float32 values a direct
 // request would carry.
-func (g *Gateway) scatterJSON(w http.ResponseWriter, r *http.Request, rid, name string, batch [][]float32, accept string) {
+func (g *Gateway) scatterJSON(w http.ResponseWriter, r *http.Request, rid, name string, batch [][]float32, accept string, pc *predictCtx) {
 	bodies := make([][]byte, len(batch))
 	for i, vox := range batch {
 		b, err := json.Marshal(api.PredictRequest{Voxels: vox})
@@ -793,7 +975,7 @@ func (g *Gateway) scatterJSON(w http.ResponseWriter, r *http.Request, rid, name 
 		}
 		bodies[i] = b
 	}
-	g.scatter(w, r, rid, name, bodies, wire.ContentTypeJSON, accept)
+	g.scatter(w, r, rid, name, bodies, wire.ContentTypeJSON, accept, pc)
 }
 
 // scatter fans the sub-requests across the pool (least-outstanding, with
@@ -801,7 +983,7 @@ func (g *Gateway) scatterJSON(w http.ResponseWriter, r *http.Request, rid, name 
 // answers in order, and renders the batch response in the negotiated
 // encoding. Any sub-request failure fails the batch: a partial batch
 // would silently misalign the caller's index space.
-func (g *Gateway) scatter(w http.ResponseWriter, r *http.Request, rid, name string, bodies [][]byte, ct, accept string) {
+func (g *Gateway) scatter(w http.ResponseWriter, r *http.Request, rid, name string, bodies [][]byte, ct, accept string, pc *predictCtx) {
 	g.ctr.scattered.Add(1)
 	width := 4 * len(g.pool.Backends())
 	if width > len(bodies) {
@@ -849,7 +1031,9 @@ func (g *Gateway) scatter(w http.ResponseWriter, r *http.Request, rid, name stri
 		// Deferred so the gather phase covers reassembly and the response
 		// write, whichever exit path renders it.
 		defer func() {
-			var qw, up float64
+			// The admission queue wait joins the scatter-slot waits: both are
+			// time this request spent parked before backend work.
+			qw, up := pc.qwMs, 0.0
 			for i := range waits {
 				qw += waits[i]
 				up += ups[i]
@@ -957,6 +1141,106 @@ func (g *Gateway) writeTensorBatch(w http.ResponseWriter, rid string, preds []*a
 	h.Set(api.HeaderBatchSize, strconv.Itoa(len(preds)))
 	w.WriteHeader(http.StatusOK)
 	_, _ = t.WriteTo(w)
+}
+
+// ---- legacy /predict alias ----
+
+// handleLegacyPredict is the deprecated pre-v1 route one tier up: the
+// gateway accepts POST /predict (JSON, model name in the body) and
+// forwards it verbatim to a backend's own legacy endpoint. The request
+// pays the same front door as v1 traffic — API key, rate limit,
+// admission queue — so the alias's 429 + Retry-After semantics are
+// identical to /v1/models/{name}:predict (the typed envelope; only
+// backend-originated errors keep the frozen v0 {"error":"msg"} shape).
+// Canary rules do not apply here: the alias is a compatibility shim, not
+// a rollout surface.
+func (g *Gateway) handleLegacyPredict(w http.ResponseWriter, r *http.Request) {
+	rid := requestID(w, r)
+	w.Header().Set("Deprecation", "true")
+	w.Header().Set("Link", `</v1/models>; rel="successor-version"`)
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, rid, http.MethodPost)
+		return
+	}
+	g.ctr.requests.Add(1)
+	release, _, ok := g.admit(w, r, rid)
+	if !ok {
+		return
+	}
+	defer release()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeAPIError(w, rid, http.StatusRequestEntityTooLarge, api.CodePayloadTooLarge, err.Error())
+		} else {
+			writeAPIError(w, rid, http.StatusBadRequest, api.CodeInvalidArgument, "reading request: "+err.Error())
+		}
+		return
+	}
+	// Decode only to learn the model for routing; the body forwards
+	// untouched (an empty model routes anywhere and the backend applies
+	// its own default, exactly as a direct v0 client saw).
+	var req api.PredictRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeAPIError(w, rid, http.StatusBadRequest, api.CodeInvalidArgument, "decoding request: "+err.Error())
+		return
+	}
+	tried := map[*Backend]bool{}
+	attempts := g.cfg.Retries + 1
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		b := g.pick(req.Model, tried)
+		if b == nil {
+			break
+		}
+		tried[b] = true
+		if i > 0 {
+			g.ctr.retries.Add(1)
+		}
+		resp, err := g.sendLegacy(r.Context(), b, rid, body)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if retryableStatus(resp.StatusCode) && i < attempts-1 && len(g.pool.candidates(req.Model, tried)) > 0 {
+			lastErr = fmt.Errorf("backend %s answered %d", b.Addr(), resp.StatusCode)
+			discard(resp)
+			continue
+		}
+		copyResponse(w, resp, b.Addr())
+		return
+	}
+	if lastErr == nil {
+		lastErr = errNoBackend
+	}
+	g.ctr.errors.Add(1)
+	g.writeRouteError(w, rid, req.Model, lastErr)
+}
+
+// sendLegacy proxies one alias attempt, maintaining the same per-backend
+// counters as the v1 send path.
+func (g *Gateway) sendLegacy(ctx context.Context, b *Backend, rid string, body []byte) (*http.Response, error) {
+	b.requests.Add(1)
+	b.outstanding.Add(1)
+	defer b.outstanding.Add(-1)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.addr+"/predict", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", wire.ContentTypeJSON)
+	req.Header.Set(api.HeaderRequestID, rid)
+	resp, err := g.legacyHC.Do(req)
+	if err != nil {
+		b.recordFailure(g.cfg.EjectAfter)
+		return nil, fmt.Errorf("backend %s: %w", b.addr, err)
+	}
+	if resp.StatusCode >= http.StatusInternalServerError {
+		b.errors.Add(1)
+	} else {
+		b.recordSuccess()
+	}
+	return resp, nil
 }
 
 // ---- lifecycle fan-out ----

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"sort"
+	"sync"
 	"sync/atomic"
 )
 
@@ -62,8 +63,11 @@ func (l *leastOutstanding) Pick(model string, cands []*Backend) *Backend {
 // on one member (maximizing its batcher's coalescing and keeping any
 // per-model working set hot), and a member's loss only remaps the models
 // that hashed onto it. Each backend contributes vnodes points so the
-// model → member map stays balanced at small pool sizes.
+// model → member map stays balanced at small pool sizes. The point set
+// rebuilds when pool membership changes (supervisor scale-up/down); the
+// ring property keeps those remaps minimal too.
 type hashRing struct {
+	mu     sync.RWMutex
 	points []ringPoint
 }
 
@@ -76,16 +80,25 @@ const vnodes = 64
 
 func newHashRing(backends []*Backend) *hashRing {
 	r := &hashRing{}
+	r.rebuild(backends)
+	return r
+}
+
+// rebuild recomputes the ring over a new member set.
+func (r *hashRing) rebuild(backends []*Backend) {
+	points := make([]ringPoint, 0, vnodes*len(backends))
 	for _, b := range backends {
 		for v := 0; v < vnodes; v++ {
-			r.points = append(r.points, ringPoint{
+			points = append(points, ringPoint{
 				hash: hash64(fmt.Sprintf("%s#%d", b.Addr(), v)),
 				b:    b,
 			})
 		}
 	}
-	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
-	return r
+	sort.Slice(points, func(i, j int) bool { return points[i].hash < points[j].hash })
+	r.mu.Lock()
+	r.points = points
+	r.mu.Unlock()
 }
 
 func (r *hashRing) Name() string { return PolicyConsistentHash }
@@ -94,7 +107,10 @@ func (r *hashRing) Name() string { return PolicyConsistentHash }
 // point whose backend is in the candidate set — so ejected or failed
 // members are skipped with the minimal remap consistent hashing promises.
 func (r *hashRing) Pick(model string, cands []*Backend) *Backend {
-	if len(cands) == 0 || len(r.points) == 0 {
+	r.mu.RLock()
+	points := r.points
+	r.mu.RUnlock()
+	if len(cands) == 0 || len(points) == 0 {
 		return nil
 	}
 	ok := make(map[*Backend]bool, len(cands))
@@ -102,9 +118,9 @@ func (r *hashRing) Pick(model string, cands []*Backend) *Backend {
 		ok[b] = true
 	}
 	h := hash64(model)
-	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
-	for i := 0; i < len(r.points); i++ {
-		p := r.points[(start+i)%len(r.points)]
+	start := sort.Search(len(points), func(i int) bool { return points[i].hash >= h })
+	for i := 0; i < len(points); i++ {
+		p := points[(start+i)%len(points)]
 		if ok[p.b] {
 			return p.b
 		}

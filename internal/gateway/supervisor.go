@@ -1,0 +1,356 @@
+package gateway
+
+// Backend supervisor: closes the loop from observed load to pool size.
+// The admission controller's smoothed queue wait is the scaling signal —
+// sustained wait past a threshold spawns another cosmoflow-serve
+// process, sustained idle retires one — with min/max bounds and a
+// cooldown on both directions so the fleet never flaps across a noisy
+// boundary. Joins and drains ride the pool's existing health state
+// machine: a new member takes traffic only after its first clean probe,
+// and a retiring member drains its in-flight requests before its
+// process stops, so scaling is never client-visible.
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"sync"
+	"time"
+
+	"repro/internal/serve/api"
+)
+
+// Launcher starts one backend process and returns its base URL plus a
+// stop function that terminates it. The interface is the test seam: unit
+// tests substitute an in-memory launcher, production uses
+// ProcessLauncher.
+type Launcher interface {
+	Start() (addr string, stop func(), err error)
+}
+
+// SupervisorConfig parameterizes the autoscaler. Zero values take the
+// documented defaults.
+type SupervisorConfig struct {
+	// Launcher spawns backends. Required when the supervisor is enabled.
+	Launcher Launcher
+	// Min and Max bound the supervised fleet (defaults 1 and 4). Min
+	// members launch at startup.
+	Min, Max int
+	// ScaleUpWait is the smoothed admission queue wait that marks the
+	// gateway hot (default 50ms).
+	ScaleUpWait time.Duration
+	// SustainFor is how long the hot signal must hold before a scale-up
+	// (default 2s) — a single burst does not buy a process.
+	SustainFor time.Duration
+	// IdleFor is how long the gateway must be idle (empty queue, wait
+	// EWMA under ScaleUpWait/8) before a scale-down (default 15s).
+	IdleFor time.Duration
+	// Cooldown is the minimum spacing between any two scale decisions in
+	// either direction (default 5s) — the anti-flap hysteresis.
+	Cooldown time.Duration
+	// Tick is the evaluation period (default 500ms).
+	Tick time.Duration
+	// DrainTimeout bounds a retiring member's in-flight drain (default 30s).
+	DrainTimeout time.Duration
+}
+
+func (c *SupervisorConfig) applyDefaults() {
+	if c.Min <= 0 {
+		c.Min = 1
+	}
+	if c.Max < c.Min {
+		c.Max = c.Min
+		if c.Max < 4 {
+			c.Max = 4
+		}
+	}
+	if c.ScaleUpWait <= 0 {
+		c.ScaleUpWait = 50 * time.Millisecond
+	}
+	if c.SustainFor <= 0 {
+		c.SustainFor = 2 * time.Second
+	}
+	if c.IdleFor <= 0 {
+		c.IdleFor = 15 * time.Second
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * time.Second
+	}
+	if c.Tick <= 0 {
+		c.Tick = 500 * time.Millisecond
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+}
+
+// supMember is one supervised backend: its pool entry and the process
+// stop function.
+type supMember struct {
+	b    *Backend
+	stop func()
+}
+
+// scaleEvent is one decision, retained for the admin surface.
+type scaleEvent struct {
+	at      time.Time
+	dir     string
+	backend string
+	reason  string
+}
+
+// Supervisor grows and shrinks the pool from observed load.
+type Supervisor struct {
+	cfg    SupervisorConfig
+	pool   *Pool
+	signal func() loadSignal
+	now    clock
+
+	mu        sync.Mutex
+	members   []supMember
+	events    []scaleEvent
+	lastMove  time.Time // last scale decision either direction (cooldown anchor)
+	hotSince  time.Time // zero: not currently hot
+	idleSince time.Time
+
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// newSupervisor wires the autoscaler to a pool and a load signal; Run
+// (or manual step calls in tests) drives it.
+func newSupervisor(cfg SupervisorConfig, pool *Pool, signal func() loadSignal, now clock) *Supervisor {
+	cfg.applyDefaults()
+	return &Supervisor{
+		cfg:    cfg,
+		pool:   pool,
+		signal: signal,
+		now:    now,
+		stopCh: make(chan struct{}),
+	}
+}
+
+// bootstrap launches the Min floor. Called before the loop starts so the
+// pool is never empty while the gateway answers traffic.
+func (s *Supervisor) bootstrap() error {
+	for s.running() < s.cfg.Min {
+		if err := s.scaleUp("min floor"); err != nil {
+			return err
+		}
+	}
+	// Seeding the floor is not a reactive decision: it must not start the
+	// cooldown clock, or the first load-driven scale-up after startup
+	// would be suppressed for a full Cooldown.
+	s.mu.Lock()
+	s.lastMove = time.Time{}
+	s.mu.Unlock()
+	return nil
+}
+
+// run evaluates the signal every Tick until stop.
+func (s *Supervisor) run() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		t := time.NewTicker(s.cfg.Tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stopCh:
+				return
+			case <-t.C:
+				s.step()
+			}
+		}
+	}()
+}
+
+// stop ends the loop and terminates every supervised process.
+func (s *Supervisor) stop() {
+	s.stopOnce.Do(func() { close(s.stopCh) })
+	s.wg.Wait()
+	s.mu.Lock()
+	members := append([]supMember(nil), s.members...)
+	s.members = nil
+	s.mu.Unlock()
+	for _, m := range members {
+		m.stop()
+	}
+}
+
+// running returns the supervised fleet size.
+func (s *Supervisor) running() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.members)
+}
+
+// step is one evaluation of the scaling policy — the unit the hysteresis
+// tests drive directly with a fake clock.
+func (s *Supervisor) step() {
+	sig := s.signal()
+	now := s.now()
+	hot := sig.avgWait >= s.cfg.ScaleUpWait
+	idle := sig.queued == 0 && sig.avgWait <= s.cfg.ScaleUpWait/8
+
+	s.mu.Lock()
+	if hot {
+		if s.hotSince.IsZero() {
+			s.hotSince = now
+		}
+	} else {
+		s.hotSince = time.Time{}
+	}
+	if idle {
+		if s.idleSince.IsZero() {
+			s.idleSince = now
+		}
+	} else {
+		s.idleSince = time.Time{}
+	}
+	cooled := s.lastMove.IsZero() || now.Sub(s.lastMove) >= s.cfg.Cooldown
+	doUp := hot && !s.hotSince.IsZero() && now.Sub(s.hotSince) >= s.cfg.SustainFor &&
+		len(s.members) < s.cfg.Max && cooled
+	doDown := idle && !s.idleSince.IsZero() && now.Sub(s.idleSince) >= s.cfg.IdleFor &&
+		len(s.members) > s.cfg.Min && cooled
+	s.mu.Unlock()
+
+	switch {
+	case doUp:
+		reason := fmt.Sprintf("queue wait %v >= %v for %v",
+			sig.avgWait.Round(time.Millisecond), s.cfg.ScaleUpWait, s.cfg.SustainFor)
+		if err := s.scaleUp(reason); err != nil {
+			fmt.Fprintf(os.Stderr, "cosmoflow-gateway: supervisor scale-up: %v\n", err)
+		}
+	case doDown:
+		s.scaleDown(fmt.Sprintf("idle for %v", s.cfg.IdleFor))
+	}
+}
+
+// scaleUp launches one backend and joins it to the pool (traffic starts
+// after its first clean probe).
+func (s *Supervisor) scaleUp(reason string) error {
+	addr, stop, err := s.cfg.Launcher.Start()
+	if err != nil {
+		return err
+	}
+	b := s.pool.add(addr, true)
+	now := s.now()
+	s.mu.Lock()
+	s.members = append(s.members, supMember{b: b, stop: stop})
+	s.lastMove = now
+	s.hotSince = time.Time{}
+	s.idleSince = time.Time{}
+	s.pushEvent(scaleEvent{at: now, dir: "up", backend: addr, reason: reason})
+	s.mu.Unlock()
+	return nil
+}
+
+// scaleDown drains and retires the newest supervised member, then stops
+// its process.
+func (s *Supervisor) scaleDown(reason string) {
+	s.mu.Lock()
+	if len(s.members) == 0 {
+		s.mu.Unlock()
+		return
+	}
+	m := s.members[len(s.members)-1]
+	s.members = s.members[:len(s.members)-1]
+	now := s.now()
+	s.lastMove = now
+	s.hotSince = time.Time{}
+	s.idleSince = time.Time{}
+	s.pushEvent(scaleEvent{at: now, dir: "down", backend: m.b.Addr(), reason: reason})
+	s.mu.Unlock()
+	s.pool.remove(m.b, s.cfg.DrainTimeout)
+	m.stop()
+}
+
+// pushEvent retains the most recent 32 decisions. Caller holds s.mu.
+func (s *Supervisor) pushEvent(e scaleEvent) {
+	s.events = append(s.events, e)
+	if len(s.events) > 32 {
+		s.events = s.events[len(s.events)-32:]
+	}
+}
+
+// status snapshots the autoscaler for GET /v1/admin/supervisor.
+func (s *Supervisor) status() api.SupervisorStatus {
+	now := s.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := api.SupervisorStatus{
+		Enabled: true,
+		Running: len(s.members),
+		Min:     s.cfg.Min,
+		Max:     s.cfg.Max,
+	}
+	for _, m := range s.members {
+		st.Backends = append(st.Backends, m.b.Addr())
+	}
+	for i := len(s.events) - 1; i >= 0; i-- {
+		e := s.events[i]
+		st.Events = append(st.Events, api.ScaleEvent{
+			Dir: e.dir, Backend: e.backend, Reason: e.reason,
+			AgoS: now.Sub(e.at).Seconds(),
+		})
+	}
+	return st
+}
+
+// ProcessLauncher spawns real cosmoflow-serve processes on loopback
+// ports — the production Launcher behind cosmoflow-gateway -supervise.
+type ProcessLauncher struct {
+	// Bin is the cosmoflow-serve binary path. Required.
+	Bin string
+	// Args are the serving flags every spawned process shares (topology,
+	// replicas, batching); -addr is appended per process.
+	Args []string
+	// Host is the interface to bind (default 127.0.0.1).
+	Host string
+	// StopTimeout bounds graceful termination before SIGKILL (default 10s).
+	StopTimeout time.Duration
+}
+
+// Start picks a free loopback port, spawns the process bound to it, and
+// returns its base URL. The stop function sends SIGTERM (the daemon's
+// graceful drain path) and escalates to SIGKILL after StopTimeout.
+func (pl *ProcessLauncher) Start() (string, func(), error) {
+	host := pl.Host
+	if host == "" {
+		host = "127.0.0.1"
+	}
+	// Reserve a port by binding and releasing it; the tiny window before
+	// the child rebinds is acceptable for loopback autoscaling.
+	l, err := net.Listen("tcp", host+":0")
+	if err != nil {
+		return "", nil, err
+	}
+	hostport := l.Addr().String()
+	_ = l.Close()
+	args := append(append([]string(nil), pl.Args...), "-addr", hostport)
+	cmd := exec.Command(pl.Bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return "", nil, fmt.Errorf("gateway: launching %s: %w", pl.Bin, err)
+	}
+	stopTO := pl.StopTimeout
+	if stopTO <= 0 {
+		stopTO = 10 * time.Second
+	}
+	stop := func() {
+		_ = cmd.Process.Signal(os.Interrupt)
+		done := make(chan struct{})
+		go func() { _ = cmd.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(stopTO):
+			_ = cmd.Process.Kill()
+			<-done
+		}
+	}
+	return "http://" + hostport, stop, nil
+}

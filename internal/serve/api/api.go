@@ -15,6 +15,17 @@
 //	GET    /stats                      per-model serving counters
 //	POST   /predict                    deprecated v0 alias of :predict
 //
+// cosmoflow-gateway additionally serves the admin plane (operator
+// control surface, distinct from the tenant-facing data plane above; see
+// DESIGN.md "Serving API v1"):
+//
+//	GET    /v1/admin/tenants           admission table (TenantList)
+//	PUT    /v1/admin/tenants           upsert one Tenant (hot reload)
+//	DELETE /v1/admin/tenants/{key}     remove a tenant
+//	GET    /v1/admin/supervisor        autoscaler status (SupervisorStatus)
+//	GET    /v1/admin/canary            canary rules + counters ([]CanaryStatus)
+//	PUT    /v1/admin/canary            upsert one CanaryRule (empty candidate deletes)
+//
 // Predict bodies are negotiated by Content-Type — wire.ContentTypeJSON
 // (PredictRequest) or wire.ContentTypeTensor (one [C D H W] or [D H W]
 // float32 frame) — and responses by Accept: JSON yields PredictResponse;
@@ -47,6 +58,13 @@ const (
 	// backend responses; the typed client copies it into
 	// PredictResponse.Backend so load generators can report spread.
 	HeaderBackend = "X-Cosmoflow-Backend"
+	// HeaderAPIKey authenticates a tenant (data plane) or an operator
+	// (admin plane) to cosmoflow-gateway. Single-process backends ignore
+	// it.
+	HeaderAPIKey = "X-Api-Key"
+	// HeaderTenant names the admitted tenant on gateway responses, so load
+	// generators can verify per-tenant attribution without parsing /stats.
+	HeaderTenant = "X-Cosmoflow-Tenant"
 )
 
 // Error codes carried in the error envelope, mirroring the HTTP status.
@@ -59,6 +77,9 @@ const (
 	CodeUnavailable      = "UNAVAILABLE"        // 503 (draining/hot-swap; retry)
 	CodeInternal         = "INTERNAL"           // 500
 	CodeUpstream         = "UPSTREAM"           // 502 (gateway: backend(s) failed)
+	CodeUnauthenticated  = "UNAUTHENTICATED"    // 401 (missing/unknown API key)
+	CodeRateLimited      = "RATE_LIMITED"       // 429 (token bucket empty; Retry-After set)
+	CodeOverloaded       = "OVERLOADED"         // 429 (admission queue full/timed out; Retry-After set)
 )
 
 // Model lifecycle states reported by /v1/models and /healthz.
@@ -285,6 +306,7 @@ const (
 	BackendReady    = "ready"    // probes healthy, every model ready
 	BackendDegraded = "degraded" // reachable but /healthz 503 (some models not ready)
 	BackendEjected  = "ejected"  // circuit open after consecutive failures
+	BackendDraining = "draining" // being retired: no new traffic, in-flight finishing
 )
 
 // BackendOpResult is one backend's outcome in a gateway lifecycle fan-out
@@ -329,12 +351,142 @@ type GatewayStats struct {
 	Scattered int64 `json:"scattered"` // batch requests split across the pool
 }
 
+// StatsSchemaV2 is the current GET /stats schema identifier on
+// cosmoflow-gateway. v1 payloads (PR 5) carried no schema field; every
+// v1 field keeps its name and shape in v2, so a v1 reader decodes a v2
+// payload unchanged — the schema field only lets readers detect the
+// per-tenant extension.
+const StatsSchemaV2 = "cosmoflow-stats/v2"
+
 // GatewayStatsResponse is GET /stats on cosmoflow-gateway: the routing
 // counters plus every backend's status — the aggregated stats DTO the
-// single-process StatsResponse cannot express.
+// single-process StatsResponse cannot express. Schema, Tenants,
+// Admission, Supervisor, and Canaries are the v2 extension; all v1
+// fields are byte-compatible with PR 5 payloads.
 type GatewayStatsResponse struct {
+	Schema   string          `json:"schema,omitempty"` // StatsSchemaV2
 	UptimeS  float64         `json:"uptime_s"`
 	Policy   string          `json:"policy"`
 	Gateway  GatewayStats    `json:"gateway"`
 	Backends []BackendStatus `json:"backends"`
+
+	Tenants    []TenantStats     `json:"tenants,omitempty"`
+	Admission  *AdmissionStats   `json:"admission,omitempty"`
+	Supervisor *SupervisorStatus `json:"supervisor,omitempty"`
+	Canaries   []CanaryStatus    `json:"canaries,omitempty"`
+}
+
+// ---- multi-tenant admission (gateway v2) ----
+
+// Tenant priority classes, in shed order: best-effort is dropped first
+// under overload, premium last.
+const (
+	ClassPremium    = "premium"
+	ClassStandard   = "standard"
+	ClassBestEffort = "best-effort"
+)
+
+// Tenant is one API-key principal in the gateway's admission table: its
+// priority class plus a token-bucket rate limit. It is both the config
+// file entry and the PUT /v1/admin/tenants body.
+type Tenant struct {
+	// Key is the API key presented in HeaderAPIKey; it is the tenant's
+	// identity. Required.
+	Key string `json:"key"`
+	// Name is the display name used in stats; defaults to the key.
+	Name string `json:"name,omitempty"`
+	// Class is the priority class (ClassPremium, ClassStandard,
+	// ClassBestEffort); default standard.
+	Class string `json:"class,omitempty"`
+	// RatePerSec is the token-bucket refill rate; 0 means unlimited.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Burst is the bucket depth (max tokens); default max(1, RatePerSec).
+	Burst float64 `json:"burst,omitempty"`
+}
+
+// TenantList is GET /v1/admin/tenants (and the -tenants config file
+// shape), sorted by key.
+type TenantList struct {
+	Tenants []Tenant `json:"tenants"`
+}
+
+// TenantStats is one tenant's admission counters in GET /stats v2.
+type TenantStats struct {
+	Name     string `json:"name"`
+	Class    string `json:"class"`
+	Admitted int64  `json:"admitted"`
+	// RateLimited counts sheds by the tenant's own token bucket (429,
+	// CodeRateLimited); Shed counts queue-pressure sheds (429,
+	// CodeOverloaded).
+	RateLimited int64 `json:"rate_limited"`
+	Shed        int64 `json:"shed"`
+	// AvgQueueMs is the mean admission-queue wait over admitted requests.
+	AvgQueueMs float64 `json:"avg_queue_ms"`
+}
+
+// AdmissionStats is the admission controller's aggregate view in
+// GET /stats v2.
+type AdmissionStats struct {
+	// Capacity is the concurrent-admission limit; Inflight the requests
+	// holding a slot right now; Queued the waiters parked across all
+	// class queues.
+	Capacity int   `json:"capacity"`
+	Inflight int   `json:"inflight"`
+	Queued   int   `json:"queued"`
+	Admitted int64 `json:"admitted"`
+	Shed     int64 `json:"shed"`
+}
+
+// ---- backend supervisor (gateway v2) ----
+
+// ScaleEvent is one supervisor decision, newest first in SupervisorStatus.
+type ScaleEvent struct {
+	Dir     string  `json:"dir"` // "up" or "down"
+	Backend string  `json:"backend"`
+	Reason  string  `json:"reason"`
+	AgoS    float64 `json:"ago_s"`
+}
+
+// SupervisorStatus is GET /v1/admin/supervisor: the autoscaler's bounds,
+// the supervised member set, and its recent scale decisions.
+type SupervisorStatus struct {
+	Enabled  bool         `json:"enabled"`
+	Running  int          `json:"running"` // supervised backends currently in the pool
+	Min      int          `json:"min"`
+	Max      int          `json:"max"`
+	Backends []string     `json:"backends,omitempty"` // supervised base URLs
+	Events   []ScaleEvent `json:"events,omitempty"`
+}
+
+// ---- weighted/canary routing (gateway v2) ----
+
+// CanaryRule splits one model's predict traffic with a candidate model
+// version: Percent of requests route to Candidate (client-visible) —
+// or, with Shadow, the incumbent always answers the client while Percent
+// of requests are duplicated to Candidate in the background and their
+// outputs compared.
+type CanaryRule struct {
+	// Model is the incumbent model name requests address. Required.
+	Model string `json:"model"`
+	// Candidate is the model name taking the canary share; empty deletes
+	// the rule.
+	Candidate string `json:"candidate,omitempty"`
+	// Percent is the canary share, 0..100.
+	Percent int `json:"percent"`
+	// Shadow duplicates instead of diverting: the incumbent serves every
+	// client, sampled requests also hit Candidate for comparison only.
+	Shadow bool `json:"shadow,omitempty"`
+}
+
+// CanaryStatus is one rule plus its live counters (GET /v1/admin/canary
+// and GET /stats v2).
+type CanaryStatus struct {
+	CanaryRule
+	Requests int64 `json:"requests"` // predicts that consulted this rule
+	Canaried int64 `json:"canaried"` // requests the candidate served (weighted mode)
+	Shadowed int64 `json:"shadowed"` // background duplicates sent (shadow mode)
+	// Mismatches counts shadow comparisons whose normalized outputs
+	// differed; LastMismatch is the most recent differing request id.
+	Mismatches   int64  `json:"mismatches"`
+	LastMismatch string `json:"last_mismatch,omitempty"`
 }

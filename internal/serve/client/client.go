@@ -80,6 +80,9 @@ type APIError struct {
 	Code       string
 	Message    string
 	RequestID  string
+	// RetryAfter is the parsed Retry-After header on 429/503 answers
+	// (zero when absent) — the gateway's shed responses always carry it.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -109,12 +112,18 @@ func WithTimeout(d time.Duration) Option {
 // WithEncoding selects the predict body encoding (default Binary).
 func WithEncoding(enc Encoding) Option { return func(c *Client) { c.enc = enc } }
 
+// WithAPIKey attaches a tenant (or admin) API key to every request via
+// api.HeaderAPIKey — how callers authenticate to cosmoflow-gateway's
+// admission control and admin plane. Empty means unauthenticated.
+func WithAPIKey(key string) Option { return func(c *Client) { c.apiKey = key } }
+
 // Client talks to one cosmoflow-serve base URL. It is safe for concurrent
 // use; the underlying http.Client pools connections.
 type Client struct {
-	base string
-	hc   *http.Client
-	enc  Encoding
+	base   string
+	hc     *http.Client
+	enc    Encoding
+	apiKey string
 }
 
 // New builds a client for baseURL (e.g. "http://localhost:8080"). All
@@ -134,6 +143,13 @@ func New(baseURL string, opts ...Option) *Client {
 
 // Encoding returns the predict body encoding this client negotiates.
 func (c *Client) Encoding() Encoding { return c.enc }
+
+// auth stamps the configured API key (if any) onto an outgoing request.
+func (c *Client) auth(req *http.Request) {
+	if c.apiKey != "" {
+		req.Header.Set(api.HeaderAPIKey, c.apiKey)
+	}
+}
 
 // BaseURL returns the server base URL this client targets.
 func (c *Client) BaseURL() string { return c.base }
@@ -213,6 +229,7 @@ func (c *Client) PredictRaw(ctx context.Context, model string, body []byte, cont
 	for k, vs := range hdr {
 		req.Header[k] = vs
 	}
+	c.auth(req)
 	req.Header.Set("Content-Type", contentType)
 	if accept != "" {
 		req.Header.Set("Accept", accept)
@@ -320,6 +337,7 @@ func (c *Client) LoadModel(ctx context.Context, name string, spec api.LoadModelR
 	if err != nil {
 		return nil, err
 	}
+	c.auth(req)
 	req.Header.Set("Content-Type", wire.ContentTypeJSON)
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -344,6 +362,7 @@ func (c *Client) UnloadModel(ctx context.Context, name string) error {
 	if err != nil {
 		return err
 	}
+	c.auth(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -362,6 +381,7 @@ func (c *Client) Health(ctx context.Context) (*api.HealthResponse, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.auth(req)
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err
@@ -387,9 +407,27 @@ func (c *Client) Stats(ctx context.Context) (*api.StatsResponse, error) {
 }
 
 func (c *Client) getJSON(ctx context.Context, path string, v any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	return c.doJSON(ctx, http.MethodGet, path, nil, v)
+}
+
+// doJSON runs one JSON round trip: method+path with an optional JSON
+// request body, decoding a 200 answer into v (nil discards it).
+func (c *Client) doJSON(ctx context.Context, method, path string, in, v any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
 		return err
+	}
+	c.auth(req)
+	if in != nil {
+		req.Header.Set("Content-Type", wire.ContentTypeJSON)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -399,10 +437,69 @@ func (c *Client) getJSON(ctx context.Context, path string, v any) error {
 	if resp.StatusCode != http.StatusOK {
 		return decodeError(resp)
 	}
+	if v == nil {
+		return nil
+	}
 	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
 		return fmt.Errorf("client: decoding %s response: %w", path, err)
 	}
 	return nil
+}
+
+// ---- gateway admin plane (cosmoflow-gateway only) ----
+
+// ListTenants returns the gateway's admission table, sorted by key.
+func (c *Client) ListTenants(ctx context.Context) ([]api.Tenant, error) {
+	var tl api.TenantList
+	if err := c.getJSON(ctx, "/v1/admin/tenants", &tl); err != nil {
+		return nil, err
+	}
+	return tl.Tenants, nil
+}
+
+// PutTenant upserts one tenant into the admission table (hot reload:
+// effective for the next request, no restart).
+func (c *Client) PutTenant(ctx context.Context, t api.Tenant) error {
+	return c.doJSON(ctx, http.MethodPut, "/v1/admin/tenants", t, nil)
+}
+
+// DeleteTenant removes a tenant by API key.
+func (c *Client) DeleteTenant(ctx context.Context, key string) error {
+	return c.doJSON(ctx, http.MethodDelete, "/v1/admin/tenants/"+url.PathEscape(key), nil, nil)
+}
+
+// ScaleStatus returns the backend supervisor's autoscaling state.
+func (c *Client) ScaleStatus(ctx context.Context) (*api.SupervisorStatus, error) {
+	var st api.SupervisorStatus
+	if err := c.getJSON(ctx, "/v1/admin/supervisor", &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// SetCanary upserts one canary rule (an empty Candidate deletes the
+// model's rule).
+func (c *Client) SetCanary(ctx context.Context, rule api.CanaryRule) error {
+	return c.doJSON(ctx, http.MethodPut, "/v1/admin/canary", rule, nil)
+}
+
+// Canary returns every canary rule with its live counters.
+func (c *Client) Canary(ctx context.Context) ([]api.CanaryStatus, error) {
+	var out []api.CanaryStatus
+	if err := c.getJSON(ctx, "/v1/admin/canary", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GatewayStats returns cosmoflow-gateway's aggregated GET /stats answer
+// (schema cosmoflow-stats/v2 with per-tenant admission counters).
+func (c *Client) GatewayStats(ctx context.Context) (*api.GatewayStatsResponse, error) {
+	var sr api.GatewayStatsResponse
+	if err := c.getJSON(ctx, "/stats", &sr); err != nil {
+		return nil, err
+	}
+	return &sr, nil
 }
 
 // decodeError turns a non-2xx answer into an *APIError, falling back to
@@ -411,6 +508,11 @@ func decodeError(resp *http.Response) error {
 	apiErr := &APIError{
 		StatusCode: resp.StatusCode,
 		RequestID:  resp.Header.Get(api.HeaderRequestID),
+	}
+	if v := resp.Header.Get("Retry-After"); v != "" {
+		if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
 	}
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
 	var env api.ErrorResponse

@@ -13,6 +13,7 @@ set -eu
 SERVE_BIN=${SERVE_BIN:-/tmp/cosmoflow-serve}
 GATEWAY_BIN=${GATEWAY_BIN:-/tmp/cosmoflow-gateway}
 LOADGEN_BIN=${LOADGEN_BIN:-/tmp/cosmoflow-loadgen}
+GWCTL_BIN=${GWCTL_BIN:-/tmp/cosmoflow-gwctl}
 GW_ADDR=127.0.0.1:18090
 GW=http://$GW_ADDR
 B1=http://127.0.0.1:18091
@@ -129,11 +130,13 @@ grep -q '(0 failed)' "$TMP/load.out" || { echo "FAIL: expected 0 failed requests
 grep -q 'backend spread:' "$TMP/load.out" || { echo "FAIL: no per-backend spread reported"; exit 1; }
 
 # Post-kill state: the pool keeps serving (healthz 200 on the survivors)
-# and the dead member reads ejected in the aggregated stats.
+# and the dead member reads ejected in the aggregated stats — read
+# through the typed client (gwctl), the sanctioned path for tooling.
 expect 200 "$GW/healthz"
 sleep 1
-expect 200 "$GW/stats"
-grep -q '"state":"ejected"' "$TMP/body" || {
-    echo "FAIL: killed backend not ejected in /stats"; cat "$TMP/body"; exit 1; }
+"$GWCTL_BIN" -addr "$GW" stats > "$TMP/stats.out" || {
+    echo "FAIL: gwctl stats errored"; exit 1; }
+grep -q '"state": "ejected"' "$TMP/stats.out" || {
+    echo "FAIL: killed backend not ejected in stats"; cat "$TMP/stats.out"; exit 1; }
 
 echo "gateway-smoke OK"
