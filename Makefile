@@ -5,11 +5,11 @@
 
 GO ?= go
 
-.PHONY: check ci fmt vet build test race bench bench-smoke serve-smoke api-smoke dist-smoke fuzz-smoke gateway-smoke tenancy-smoke bench-json bench-compare
+.PHONY: check ci fmt vet build test race bench bench-smoke serve-smoke api-smoke dist-smoke data-smoke fuzz-smoke gateway-smoke tenancy-smoke bench-json bench-compare
 
 check: fmt vet build test
 
-ci: fmt vet build test race fuzz-smoke bench-smoke serve-smoke api-smoke dist-smoke gateway-smoke tenancy-smoke bench-json bench-compare
+ci: fmt vet build test race fuzz-smoke bench-smoke serve-smoke api-smoke dist-smoke data-smoke gateway-smoke tenancy-smoke bench-json bench-compare
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -76,8 +76,18 @@ dist-smoke:
 	$(GO) build -o /tmp/cosmoflow-train ./cmd/cosmoflow-train
 	sh scripts/dist_smoke.sh
 
+# Streaming-data smoke: datagen writes a sharded TFRecord dataset with a
+# manifest, then a 2-process world streams it — locally and over HTTP from
+# cosmoflow-shardd — bit-identical to the in-process streaming run, and a
+# killed world resumes from its checkpoint (scripts/data_smoke.sh).
+data-smoke:
+	$(GO) build -o /tmp/cosmoflow-train ./cmd/cosmoflow-train
+	$(GO) build -o /tmp/cosmoflow-datagen ./cmd/cosmoflow-datagen
+	$(GO) build -o /tmp/cosmoflow-shardd ./cmd/cosmoflow-shardd
+	sh scripts/data_smoke.sh
+
 # Benchmark trajectory: collect one BENCH_<area>.json per area (kernel,
-# dist, serve, gateway) under bench/out with the common cosmoflow-bench/v1
+# dist, data, serve, gateway) under bench/out with the cosmoflow-bench/v1
 # schema (scripts/bench_collect.sh), then gate against the committed
 # bench/baseline. BENCH_THRESHOLD is the regression tolerance in percent —
 # 5 locally; CI uses a higher value because the committed baselines were

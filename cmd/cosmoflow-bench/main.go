@@ -19,17 +19,22 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math/rand"
+	"os"
 	"runtime"
 	"sync"
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/cosmo"
+	"repro/internal/data"
 	"repro/internal/nn"
 	"repro/internal/obsv"
 	"repro/internal/parallel"
 	"repro/internal/tensor"
+	"repro/internal/tfrecord"
 )
 
 func main() {
@@ -40,7 +45,7 @@ func main() {
 	base := flag.Int("base", 16, "base channel count (16 = paper)")
 	iters := flag.Int("iters", 3, "timing iterations per operator")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "compute threads")
-	area := flag.String("area", "kernel", "benchmark area: kernel (Table-I conv sweep) or dist (comm collectives)")
+	area := flag.String("area", "kernel", "benchmark area: kernel (Table-I conv sweep), dist (comm collectives), or data (loader streaming)")
 	jsonPath := flag.String("json", "", "also write an obsv benchmark report to this path (empty: stdout only)")
 	flag.Parse()
 
@@ -50,8 +55,10 @@ func main() {
 		rep = benchKernel(*dim, *base, *iters, *workers)
 	case "dist":
 		rep = benchDist(*iters)
+	case "data":
+		rep = benchData(*iters, *workers)
 	default:
-		log.Fatalf("unknown -area %q (want kernel or dist)", *area)
+		log.Fatalf("unknown -area %q (want kernel, dist, or data)", *area)
 	}
 	if *jsonPath != "" {
 		if err := rep.WriteFile(*jsonPath); err != nil {
@@ -167,6 +174,106 @@ func benchDist(iters int) *obsv.Report {
 		}
 	}
 	return rep
+}
+
+// benchData measures the streaming data pipeline: the samples/s a single
+// consumer draws from a data.Loader over a freshly written sharded
+// dataset, with the loader's per-stage timings (read, decode,
+// wait_consumer, starved) through the obsv recorder. The rate to beat is
+// the trainer's per-rank demand; EXPERIMENTS.md tracks the two side by
+// side.
+func benchData(iters, workers int) *obsv.Report {
+	const (
+		dim     = 16
+		samples = 128
+		perFile = 16
+	)
+	dir, err := os.MkdirTemp("", "cosmoflow-bench-data-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	rng := rand.New(rand.NewSource(3))
+	set := make([]*cosmo.Sample, samples)
+	for i := range set {
+		target := [3]float32{rng.Float32(), rng.Float32(), rng.Float32()}
+		set[i] = cosmo.SyntheticSample(dim, target, rng.Int63())
+	}
+	if _, err := tfrecord.WriteDataset(dir, "train", set, perFile); err != nil {
+		log.Fatal(err)
+	}
+	m, err := data.Scan(dir, "train")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := data.WriteManifest(dir, m); err != nil {
+		log.Fatal(err)
+	}
+
+	rep := obsv.NewReport("data")
+	rep.Config["dim"] = fmt.Sprint(dim)
+	rep.Config["samples"] = fmt.Sprint(samples)
+	rep.Config["per_file"] = fmt.Sprint(perFile)
+	rep.Config["iters"] = fmt.Sprint(iters)
+	rep.Config["workers"] = fmt.Sprint(workers)
+
+	rec := obsv.NewRecorder()
+	l, err := data.NewLoader(data.Config{
+		Source:        &data.DirSource{Dir: dir},
+		Seed:          3,
+		DecodeWorkers: workers,
+		Recorder:      rec,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer l.Close()
+
+	streamEpoch(l, 0) // warm the page cache and the voxel pool
+	total := 0
+	start := time.Now()
+	for it := 1; it <= iters; it++ {
+		total += streamEpoch(l, it)
+	}
+	elapsed := time.Since(start)
+	rate := float64(total) / elapsed.Seconds()
+
+	fmt.Printf("data loader streaming (%d³ samples, %d shards × %d, %d decode workers)\n\n",
+		dim, len(m.Split("train")), perFile, workers)
+	fmt.Printf("streamed %d samples in %v → %.1f samples/s\n",
+		total, elapsed.Round(time.Millisecond), rate)
+	fmt.Printf("\n%-14s %8s %10s %10s\n", "stage", "obs", "avg(ms)", "max(ms)")
+	for _, st := range rec.Snapshot() {
+		fmt.Printf("%-14s %8d %10.3f %10.3f\n", st.Name, st.Count, st.AvgMs, st.MaxMs)
+		// Only the work stages join the gated trajectory; wait_consumer and
+		// starved measure the consumer's pace, not the loader's, so
+		// percent-gating them would be pure noise.
+		if st.Name == "read" || st.Name == "decode" {
+			rep.SetLower("stage_"+st.Name+"_avg_ms", st.AvgMs, "ms")
+		}
+	}
+	rep.SetHigher("stream_samples_per_s", rate, "samples/s")
+	return rep
+}
+
+// streamEpoch drains one full single-rank epoch from the loader.
+func streamEpoch(l *data.Loader, epoch int) int {
+	s, err := l.EpochStream(epoch, 0, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+	n := 0
+	for {
+		if _, err := s.Next(); err != nil {
+			if err == io.EOF {
+				return n
+			}
+			log.Fatal(err)
+		}
+		n++
+	}
 }
 
 // runCollectives drives every timed collective iters times across all

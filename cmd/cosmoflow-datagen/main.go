@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cosmo"
+	"repro/internal/data"
 	"repro/internal/tfrecord"
 )
 
@@ -63,6 +64,20 @@ func main() {
 	write("train", ds.Train)
 	write("val", ds.Val)
 	write("test", ds.Test)
+
+	// The manifest (per-shard sample counts and checksums) is what
+	// data.Loader and cosmoflow-shardd trust; scanning the files we just
+	// wrote also re-verifies every record's framing end to end.
+	m, err := data.Scan(*out, "train", "val", "test")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := data.WriteManifest(*out, m); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nmanifest: %d train shards, %d total samples, dim %d (%s)\n",
+		len(m.Split("train")), m.TotalSamples("train"), m.Dim,
+		filepath.Join(*out, data.ManifestName))
 
 	dim := ds.Config.SubVolumeDim()
 	fmt.Printf("\nsub-volume size: %d³ voxels (paper: 128³)\n", dim)

@@ -1,0 +1,85 @@
+// Command cosmoflow-shardd serves a cosmoflow-datagen dataset directory
+// over HTTP to remote training ranks — the burst-buffer staging tier of
+// §VI-A as a daemon. Training processes point cosmoflow-train's -data-url
+// at it and stream their rank-disjoint shard assignments; Range support
+// lets a transfer that dies mid-shard resume from its last delivered byte.
+//
+// Usage:
+//
+//	cosmoflow-shardd -data data/ -addr :9000
+//
+// Endpoints (see internal/data.Handler):
+//
+//	GET /manifest.json   the dataset manifest
+//	GET /shards/{file}   one shard's bytes (Range supported)
+//	GET /healthz         200 once the manifest is readable
+//	GET /stats           plain-text transfer counters
+//
+// Only manifest-listed shard files are served. SIGINT/SIGTERM triggers a
+// graceful shutdown: the listener closes and in-flight transfers drain.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"repro/internal/data"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cosmoflow-shardd: ")
+
+	addr := flag.String("addr", "127.0.0.1:9000", "listen address")
+	dir := flag.String("data", "data", "dataset directory (needs a manifest; see cosmoflow-datagen)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
+	flag.Parse()
+
+	m, err := data.LoadManifest(*dir)
+	if err != nil {
+		log.Fatalf("%s is not a servable dataset: %v", *dir, err)
+	}
+	splits := make([]string, 0, len(m.Splits))
+	for s := range m.Splits {
+		splits = append(splits, s)
+	}
+	sort.Strings(splits)
+	for _, s := range splits {
+		log.Printf("split %-6s %3d shards, %6d samples, dim %d",
+			s, len(m.Split(s)), m.TotalSamples(s), m.Dim)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("serving %s on http://%s", *dir, ln.Addr())
+
+	srv := &http.Server{Handler: data.NewHandler(*dir)}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Print("shutting down; draining in-flight transfers")
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("drain: %v", err)
+		}
+	}()
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+}

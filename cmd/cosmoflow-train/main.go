@@ -11,9 +11,17 @@
 // dies. Both modes are bit-identical to the in-process run at the same
 // seed and world size.
 //
+// With -stream (or -data-url, which streams from a cosmoflow-shardd
+// server) the training split never sits whole in memory: each rank
+// streams its rank-disjoint per-epoch shard assignment through a
+// double-buffered data.Loader, with identical results to the in-memory
+// modes' determinism contract — same seed, same losses, bit for bit.
+//
 // Usage:
 //
 //	cosmoflow-train -data data/ -ranks 4 -epochs 8 -profile
+//	cosmoflow-train -stream -data data/ -ranks 4 -epochs 8
+//	cosmoflow-train -data-url http://127.0.0.1:9000 -launch 2 -epochs 4
 //	cosmoflow-train -synthetic 64 -dim 16 -ranks 8 -epochs 4
 //	cosmoflow-train -synthetic 64 -launch 4 -epochs 4 -ckpt /tmp/cf.ckpt
 //	cosmoflow-train -synthetic 64 -dist -world 4 -rank 0 -rendezvous :29500
@@ -31,6 +39,7 @@ import (
 
 	"repro/internal/comm"
 	"repro/internal/cosmo"
+	"repro/internal/data"
 	"repro/internal/dist"
 	"repro/internal/nn"
 	"repro/internal/optim"
@@ -43,6 +52,8 @@ func main() {
 	log.SetPrefix("cosmoflow-train: ")
 
 	dataDir := flag.String("data", "", "TFRecord dataset directory (from cosmoflow-datagen)")
+	stream := flag.Bool("stream", false, "stream the training split shard-by-shard from -data instead of loading it whole (needs a manifest)")
+	dataURL := flag.String("data-url", "", "stream the dataset from a cosmoflow-shardd server at this URL (implies -stream)")
 	synthetic := flag.Int("synthetic", 0, "train on N synthetic samples instead of files")
 	dim := flag.Int("dim", 16, "synthetic sample edge length (power of two)")
 	ranks := flag.Int("ranks", 4, "data-parallel workers (global batch size, §III-B)")
@@ -70,7 +81,30 @@ func main() {
 	}
 
 	var trainSet, valSet []*cosmo.Sample
+	var loader *data.Loader
 	switch {
+	case *stream || *dataURL != "":
+		// Streaming mode: the training split never sits whole in memory.
+		// Every process of a distributed world opens its own loader and
+		// streams only its rank-disjoint shard assignment each epoch.
+		var src data.Source
+		if *dataURL != "" {
+			src = &data.HTTPSource{Base: *dataURL}
+		} else if *dataDir != "" {
+			src = &data.DirSource{Dir: *dataDir}
+		} else {
+			log.Fatal("-stream requires -data DIR (or use -data-url URL)")
+		}
+		var err error
+		loader, err = data.NewLoader(data.Config{Source: src, Seed: *seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer loader.Close()
+		valSet, err = data.ReadAll(src, "val")
+		if err != nil {
+			log.Fatal(err)
+		}
 	case *dataDir != "":
 		var err error
 		trainSet, err = tfrecord.ReadSplit(*dataDir, "train")
@@ -91,7 +125,7 @@ func main() {
 		}
 		valSet = trainSet[:min(len(trainSet), 8)]
 	default:
-		log.Fatal("provide -data DIR or -synthetic N")
+		log.Fatal("provide -data DIR, -data-url URL, or -synthetic N")
 	}
 
 	algorithm := comm.Ring
@@ -113,11 +147,20 @@ func main() {
 		nRanks = *world
 	}
 
+	inputDim := 0
+	if loader != nil {
+		inputDim = loader.Dim()
+		log.Printf("streaming %d train shards (%d samples, dim %d), %d val samples in memory",
+			loader.Shards(), loader.TotalSamples(), inputDim, len(valSet))
+	} else {
+		inputDim = trainSet[0].Dim
+	}
+
 	cfg := train.Config{
 		Ranks:  nRanks,
 		Epochs: *epochs,
 		Topology: nn.TopologyConfig{
-			InputDim:     trainSet[0].Dim,
+			InputDim:     inputDim,
 			BaseChannels: *base,
 			Seed:         *seed + 1,
 		},
@@ -131,6 +174,11 @@ func main() {
 		ResumeFrom:      *resume,
 		OverlapComm:     *overlap,
 		AbortAfterEpoch: *abortAfter,
+	}
+	if loader != nil {
+		// Guarded: assigning a nil *data.Loader would make the interface
+		// non-nil and switch train into streaming mode with no dataset.
+		cfg.Data = loader
 	}
 
 	if !*distMode {

@@ -13,7 +13,14 @@
 // peer-death detection, and checkpoint-resume fault tolerance behind
 // cosmoflow-train's -dist/-launch modes, bit-identical to the in-process
 // world at the same seed), a TFRecord I/O pipeline with bandwidth throttling
-// (internal/tfrecord, internal/iopipe), a synthetic cosmology data generator
+// (internal/tfrecord, internal/iopipe), a streaming dataset subsystem
+// (internal/data): checksummed shard manifests written by
+// cosmoflow-datagen, a double-buffered prefetch loader with parallel
+// decode feeding training shard-by-shard, rank-disjoint per-epoch shard
+// assignment keeping streamed runs bit-identical across runs, transports,
+// and checkpoint resume, and the cosmoflow-shardd HTTP shard server with
+// Range-resuming transfers for remote staging (cosmoflow-train
+// -stream/-data-url), a synthetic cosmology data generator
 // built on a pure-Go 3D FFT (internal/cosmo, internal/fft), a calibrated
 // cluster model that regenerates the paper's 8192-node scaling results
 // (internal/hpcsim), the traditional power-spectrum statistics baseline
@@ -53,7 +60,7 @@
 // the scatter-gather bit-identity argument), and the CI pipeline
 // (.github/workflows/ci.yml, mirrored by `make ci`: fmt, vet, build,
 // test, race on the concurrency-bearing packages, the wire-codec fuzz
-// smoke, the serving/API/dist/gateway smokes, and the bench-trajectory
+// smoke, the serving/API/dist/data/gateway smokes, and the bench-trajectory
 // regression gate), EXPERIMENTS.md for the
 // paper-versus-measured record of every table and figure, and
 // bench_test.go for the benchmark harness that regenerates them.

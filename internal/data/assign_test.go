@@ -1,0 +1,147 @@
+package data
+
+import (
+	"testing"
+)
+
+// Property tests for the rank-disjoint shard assignment — the invariants
+// distributed bit-identity and resume-correctness rest on.
+
+// Every epoch's assignment is pairwise disjoint, and when ranks divides
+// the shard count it covers every shard exactly once.
+func TestAssignDisjointCover(t *testing.T) {
+	for _, tc := range []struct{ shards, ranks int }{
+		{8, 4}, {12, 3}, {16, 1}, {7, 7}, {20, 5},
+	} {
+		for epoch := 0; epoch < 6; epoch++ {
+			assign, err := Assign(tc.shards, tc.ranks, 42, epoch)
+			if err != nil {
+				t.Fatalf("%d/%d epoch %d: %v", tc.shards, tc.ranks, epoch, err)
+			}
+			seen := map[int]int{}
+			for rank, shards := range assign {
+				if len(shards) != tc.shards/tc.ranks {
+					t.Fatalf("%d/%d epoch %d: rank %d dealt %d shards, want %d",
+						tc.shards, tc.ranks, epoch, rank, len(shards), tc.shards/tc.ranks)
+				}
+				for _, s := range shards {
+					if s < 0 || s >= tc.shards {
+						t.Fatalf("%d/%d epoch %d: shard index %d out of range", tc.shards, tc.ranks, epoch, s)
+					}
+					seen[s]++
+				}
+			}
+			for s, n := range seen {
+				if n != 1 {
+					t.Fatalf("%d/%d epoch %d: shard %d dealt to %d ranks", tc.shards, tc.ranks, epoch, s, n)
+				}
+			}
+			if want := (tc.shards / tc.ranks) * tc.ranks; len(seen) != want {
+				t.Fatalf("%d/%d epoch %d: %d shards dealt, want %d", tc.shards, tc.ranks, epoch, len(seen), want)
+			}
+		}
+	}
+}
+
+// When ranks does not divide the shard count, the per-epoch leftovers
+// rotate: over a few epochs every shard gets streamed by someone, so no
+// shard is permanently dark.
+func TestAssignLeftoversRotate(t *testing.T) {
+	const shards, ranks = 10, 4 // 2 leftovers per epoch
+	used := map[int]bool{}
+	for epoch := 0; epoch < 20; epoch++ {
+		assign, err := Assign(shards, ranks, 7, epoch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rs := range assign {
+			for _, s := range rs {
+				used[s] = true
+			}
+		}
+	}
+	if len(used) != shards {
+		t.Fatalf("after 20 epochs only %d of %d shards were ever assigned", len(used), shards)
+	}
+}
+
+// Same (seed, epoch) → the same assignment, no matter where or how often
+// it is recomputed — the zero-coordination agreement every rank relies on,
+// and exactly what a checkpoint-resumed run recomputes when it restarts at
+// epoch E: the assignment is a pure function, so resume sees the same deal
+// the uninterrupted run saw.
+func TestAssignDeterministicAndResumeIdentical(t *testing.T) {
+	for epoch := 0; epoch < 8; epoch++ {
+		a, err := Assign(12, 4, 99, epoch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Recompute as a resumed run would: cold, from just (seed, epoch).
+		b, err := Assign(12, 4, 99, epoch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := range a {
+			if len(a[r]) != len(b[r]) {
+				t.Fatalf("epoch %d rank %d: lengths differ", epoch, r)
+			}
+			for i := range a[r] {
+				if a[r][i] != b[r][i] {
+					t.Fatalf("epoch %d rank %d: shard %d differs (%d vs %d)", epoch, r, i, a[r][i], b[r][i])
+				}
+			}
+		}
+	}
+}
+
+// Different epochs reshuffle (no fixed order replayed), and different
+// seeds produce different deals.
+func TestAssignReshufflesAcrossEpochsAndSeeds(t *testing.T) {
+	flat := func(seed int64, epoch int) []int {
+		assign, err := Assign(16, 4, seed, epoch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []int
+		for _, rs := range assign {
+			out = append(out, rs...)
+		}
+		return out
+	}
+	base := flat(5, 0)
+	diffEpochs := 0
+	for epoch := 1; epoch <= 4; epoch++ {
+		next := flat(5, epoch)
+		for i := range base {
+			if next[i] != base[i] {
+				diffEpochs++
+				break
+			}
+		}
+	}
+	if diffEpochs == 0 {
+		t.Fatal("epochs 1..4 replayed epoch 0's assignment exactly")
+	}
+	other := flat(6, 0)
+	same := true
+	for i := range base {
+		if other[i] != base[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical epoch-0 assignments")
+	}
+}
+
+// Too few shards for the world is an explicit error, not a silent
+// empty assignment.
+func TestAssignRequiresShardPerRank(t *testing.T) {
+	if _, err := Assign(3, 4, 1, 0); err == nil {
+		t.Fatal("expected error for 3 shards over 4 ranks")
+	}
+	if _, err := Assign(4, 0, 1, 0); err == nil {
+		t.Fatal("expected error for zero ranks")
+	}
+}

@@ -1,0 +1,181 @@
+package data
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Streaming over HTTP delivers exactly what streaming the local directory
+// delivers — the bit-identity precondition for remote-staged training.
+func TestHTTPSourceMatchesDirSource(t *testing.T) {
+	dir := writeDataset(t, 8, 16, 0, 4, 9)
+	srv := httptest.NewServer(NewHandler(dir))
+	defer srv.Close()
+
+	local, err := NewLoader(Config{Source: &DirSource{Dir: dir}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+	remote, err := NewLoader(Config{Source: &HTTPSource{Base: srv.URL}, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	for epoch := 0; epoch < 2; epoch++ {
+		for rank := 0; rank < 2; rank++ {
+			ls, err := local.EpochStream(epoch, rank, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rs, err := remote.EpochStream(epoch, rank, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sameSamples(streamAll(t, ls), streamAll(t, rs)); err != nil {
+				t.Fatalf("epoch %d rank %d: local vs remote: %v", epoch, rank, err)
+			}
+		}
+	}
+}
+
+func TestHandlerSurface(t *testing.T) {
+	dir := writeDataset(t, 8, 4, 0, 4, 10)
+	srv := httptest.NewServer(NewHandler(dir))
+	defer srv.Close()
+
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Fatalf("/healthz = %d", got)
+	}
+	if got := get("/manifest.json"); got != http.StatusOK {
+		t.Fatalf("/manifest.json = %d", got)
+	}
+	m, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := get("/shards/" + m.Split("train")[0].File); got != http.StatusOK {
+		t.Fatalf("listed shard = %d", got)
+	}
+	// Unlisted files and traversal attempts are invisible, even if the
+	// path exists on disk (the manifest itself, for instance).
+	if got := get("/shards/manifest.json"); got != http.StatusNotFound {
+		t.Fatalf("unlisted file = %d, want 404", got)
+	}
+	if got := get("/shards/../manifest.json"); got != http.StatusNotFound {
+		t.Fatalf("traversal = %d, want 404", got)
+	}
+	resp, err := http.Post(srv.URL+"/manifest.json", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST = %d, want 405", resp.StatusCode)
+	}
+}
+
+// flakyHandler kills every shard transfer partway through until a request
+// arrives with a Range header, exercising the client's resume path.
+type flakyHandler struct {
+	inner    http.Handler
+	mu       sync.Mutex
+	kills    int
+	resumed  int
+	killNext bool
+}
+
+func (f *flakyHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if !strings.HasPrefix(r.URL.Path, "/shards/") {
+		f.inner.ServeHTTP(w, r)
+		return
+	}
+	if rg := r.Header.Get("Range"); rg != "" {
+		f.mu.Lock()
+		f.resumed++
+		f.mu.Unlock()
+		f.inner.ServeHTTP(w, r) // honest 206 from http.ServeFile
+		return
+	}
+	f.mu.Lock()
+	kill := f.killNext
+	f.killNext = !f.killNext
+	if kill {
+		f.kills++
+	}
+	f.mu.Unlock()
+	if !kill {
+		f.inner.ServeHTTP(w, r)
+		return
+	}
+	// Serve roughly half the shard, flush, then abort the connection so
+	// the client sees a mid-stream failure, not a clean short body.
+	rec := httptest.NewRecorder()
+	f.inner.ServeHTTP(rec, r)
+	body := rec.Body.Bytes()
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(body[:len(body)/2])
+	if fl, ok := w.(http.Flusher); ok {
+		fl.Flush()
+	}
+	panic(http.ErrAbortHandler)
+}
+
+// A transfer that dies mid-shard resumes from its last byte with a Range
+// request and still delivers bit-identical samples — the checksum verifies
+// the spliced bytes end to end.
+func TestHTTPSourceResumesDiedTransfers(t *testing.T) {
+	dir := writeDataset(t, 8, 16, 0, 4, 11)
+	flaky := &flakyHandler{inner: NewHandler(dir), killNext: true}
+	srv := httptest.NewServer(flaky)
+	defer srv.Close()
+
+	local, err := NewLoader(Config{Source: &DirSource{Dir: dir}, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+	remote, err := NewLoader(Config{
+		Source: &HTTPSource{Base: srv.URL, Backoff: time.Millisecond},
+		Seed:   8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	ls, err := local.EpochStream(0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := remote.EpochStream(0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sameSamples(streamAll(t, ls), streamAll(t, rs)); err != nil {
+		t.Fatalf("resumed transfers diverged from local: %v", err)
+	}
+	flaky.mu.Lock()
+	defer flaky.mu.Unlock()
+	if flaky.kills == 0 || flaky.resumed == 0 {
+		t.Fatalf("test exercised nothing: %d kills, %d resumes", flaky.kills, flaky.resumed)
+	}
+}

@@ -197,7 +197,9 @@ func (p *Pipeline) Epoch(epoch int) (<-chan *cosmo.Sample, <-chan error) {
 	return out, errc
 }
 
-// readFile streams one TFRecord file's samples into the channel.
+// readFile streams one TFRecord file's samples into the channel, one
+// sample in memory at a time (tfrecord.SampleReader), so a reader
+// goroutine's footprint is a single sample, not a whole shard.
 func (p *Pipeline) readFile(path string, out chan<- *cosmo.Sample) error {
 	f, err := os.Open(path)
 	if err != nil {
@@ -208,18 +210,14 @@ func (p *Pipeline) readFile(path string, out chan<- *cosmo.Sample) error {
 	if p.cfg.Throttle != nil {
 		r = &throttledReader{r: f, t: p.cfg.Throttle}
 	}
-	tr := tfrecord.NewReader(r)
+	sr := tfrecord.NewSampleReader(r)
 	for {
-		rec, err := tr.ReadRecord()
+		s, err := sr.Next()
 		if err != nil {
 			if errors.Is(err, io.EOF) {
 				return nil
 			}
 			return fmt.Errorf("iopipe: reading %s: %w", path, err)
-		}
-		s, err := tfrecord.DecodeSample(rec)
-		if err != nil {
-			return fmt.Errorf("iopipe: decoding %s: %w", path, err)
 		}
 		out <- s
 	}

@@ -36,6 +36,14 @@ func EncodeSample(s *cosmo.Sample) []byte {
 
 // DecodeSample parses a record payload produced by EncodeSample.
 func DecodeSample(buf []byte) (*cosmo.Sample, error) {
+	return DecodeSampleInto(buf, nil)
+}
+
+// DecodeSampleInto is DecodeSample decoding the voxels into the provided
+// slice when it has exactly the right length (otherwise a fresh slice is
+// allocated, as DecodeSample does). Every element is overwritten, so
+// recycled scratch (e.g. from a tensor.BufPool) needs no clearing.
+func DecodeSampleInto(buf []byte, voxels []float32) (*cosmo.Sample, error) {
 	if len(buf) < 8 {
 		return nil, fmt.Errorf("tfrecord: sample payload too short (%d bytes)", len(buf))
 	}
@@ -48,7 +56,10 @@ func DecodeSample(buf []byte) (*cosmo.Sample, error) {
 	if len(buf) != want {
 		return nil, fmt.Errorf("tfrecord: sample payload is %d bytes, want %d for dim %d", len(buf), want, dim)
 	}
-	s := &cosmo.Sample{Dim: dim, Voxels: make([]float32, n)}
+	if len(voxels) != n {
+		voxels = make([]float32, n)
+	}
+	s := &cosmo.Sample{Dim: dim, Voxels: voxels}
 	off := 8
 	for i := 0; i < n; i++ {
 		s.Voxels[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[off:]))
@@ -90,28 +101,41 @@ func WriteDataset(dir, prefix string, samples []*cosmo.Sample, perFile int) ([]s
 	return paths, nil
 }
 
-// WriteSamplesFile writes the samples to a single TFRecord file.
+// WriteSamplesFile writes the samples to a single TFRecord file, staging
+// through a temp file in the same directory and renaming into place, so a
+// killed writer leaves no torn shard under the final name for a later
+// loader to trust.
 func WriteSamplesFile(path string, samples []*cosmo.Sample) (err error) {
-	f, err := os.Create(path)
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
 	defer func() {
-		if cerr := f.Close(); err == nil {
-			err = cerr
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
 		}
 	}()
-	w := NewWriter(f)
+	w := NewWriter(tmp)
 	for _, s := range samples {
-		if err := w.WriteRecord(EncodeSample(s)); err != nil {
+		if err = w.WriteRecord(EncodeSample(s)); err != nil {
 			return err
 		}
 	}
-	return w.Flush()
+	if err = w.Flush(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // ReadSplit reads every sample from the <prefix>-*.tfrecord files under
-// dir, in file order — the loader counterpart of WriteDataset.
+// dir, in file order — the loader counterpart of WriteDataset. It holds
+// the whole split in memory, so it suits validation/test sets and small
+// experiments; training-scale ingestion should stream through a
+// data.Loader (or SampleReader) instead.
 func ReadSplit(dir, prefix string) ([]*cosmo.Sample, error) {
 	paths, err := filepath.Glob(filepath.Join(dir, prefix+"-*.tfrecord"))
 	if err != nil {
@@ -136,17 +160,13 @@ func ReadSamplesFile(path string) ([]*cosmo.Sample, error) {
 	}
 	defer f.Close()
 	var samples []*cosmo.Sample
-	r := NewReader(f)
+	sr := NewSampleReader(f)
 	for {
-		rec, err := r.ReadRecord()
+		s, err := sr.Next()
 		if err != nil {
 			if errors.Is(err, io.EOF) {
 				break
 			}
-			return nil, err
-		}
-		s, err := DecodeSample(rec)
-		if err != nil {
 			return nil, err
 		}
 		samples = append(samples, s)

@@ -1,0 +1,83 @@
+package tfrecord
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/cosmo"
+)
+
+// SampleReader streams CosmoFlow samples from a TFRecord stream one at a
+// time — the constant-memory counterpart of ReadSamplesFile, for readers
+// that must not hold a whole split (or even a whole shard) in memory.
+type SampleReader struct {
+	r *Reader
+}
+
+// NewSampleReader wraps a TFRecord stream in a sample decoder.
+func NewSampleReader(r io.Reader) *SampleReader {
+	return &SampleReader{r: NewReader(r)}
+}
+
+// Next returns the next sample, or io.EOF cleanly at end of stream. Each
+// sample is freshly allocated (the record framing buffer is reused, the
+// decoded voxels are not), so callers may retain samples across calls.
+func (sr *SampleReader) Next() (*cosmo.Sample, error) {
+	rec, err := sr.r.ReadRecord()
+	if err != nil {
+		return nil, err
+	}
+	return DecodeSample(rec)
+}
+
+// RawRecord is one framed record located by SplitRecords: a zero-copy view
+// of the payload plus its framing checksum, verified separately so record
+// location (sequential, cheap) and payload verification + decode
+// (parallelizable, the expensive part) can run on different goroutines.
+type RawRecord struct {
+	Payload []byte // view into the buffer passed to SplitRecords
+	crc     uint32 // masked CRC32-C the framing claims for Payload
+}
+
+// Verify checks the record's data checksum.
+func (r RawRecord) Verify() error {
+	if maskedCRC(r.Payload) != r.crc {
+		return fmt.Errorf("tfrecord: bad data checksum: %w", ErrCorrupt)
+	}
+	return nil
+}
+
+// SplitRecords walks a fully buffered TFRecord stream and returns views of
+// its record payloads. Length checksums are verified here (they guard the
+// walk itself); data checksums are deferred to RawRecord.Verify so callers
+// can spread that work across decode workers.
+func SplitRecords(buf []byte) ([]RawRecord, error) {
+	var out []RawRecord
+	off := 0
+	for off < len(buf) {
+		if len(buf)-off < 12 {
+			return nil, fmt.Errorf("tfrecord: truncated header at offset %d: %w", off, ErrCorrupt)
+		}
+		hdr := buf[off : off+12]
+		if maskedCRC(hdr[:8]) != binary.LittleEndian.Uint32(hdr[8:12]) {
+			return nil, fmt.Errorf("tfrecord: bad length checksum at offset %d: %w", off, ErrCorrupt)
+		}
+		n := binary.LittleEndian.Uint64(hdr[:8])
+		if n > 1<<31 {
+			return nil, fmt.Errorf("tfrecord: record length %d exceeds limit: %w", n, ErrCorrupt)
+		}
+		off += 12
+		if uint64(len(buf)-off) < n+4 {
+			return nil, fmt.Errorf("tfrecord: truncated payload at offset %d: %w", off, ErrCorrupt)
+		}
+		payload := buf[off : off+int(n)]
+		off += int(n)
+		out = append(out, RawRecord{
+			Payload: payload,
+			crc:     binary.LittleEndian.Uint32(buf[off : off+4]),
+		})
+		off += 4
+	}
+	return out, nil
+}

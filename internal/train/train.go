@@ -7,11 +7,13 @@ package train
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
 	"repro/internal/comm"
 	"repro/internal/cosmo"
+	"repro/internal/data"
 	"repro/internal/nn"
 	"repro/internal/optim"
 	"repro/internal/parallel"
@@ -42,6 +44,16 @@ type Config struct {
 	Profile bool
 	// Seed controls data sharding order.
 	Seed int64
+	// Data, when non-nil, streams the training set from a sharded TFRecord
+	// dataset (a *data.Loader) instead of the in-memory trainSet argument,
+	// which must then be empty. Each rank streams its rank-disjoint
+	// per-epoch shard assignment; step counts come from the manifest
+	// (Dataset.StepsPerEpoch), and the sample sequence is a pure function
+	// of (Seed, epoch, rank, Ranks), so streamed runs keep the bit-identity
+	// and resume guarantees of in-memory ones. Give the Loader this same
+	// Seed. Validation still uses the in-memory valSet argument (held-out
+	// splits are small — see data.ReadAll).
+	Data data.Dataset
 	// CheckpointPath, when set, makes rank 0 save the model every
 	// CheckpointEvery epochs (default: every epoch). The paper's
 	// multi-epoch campaigns depend on restartability.
@@ -179,10 +191,24 @@ func prepareRun(cfg Config, trainSet []*cosmo.Sample) (Config, int, error) {
 	if err := cfg.Validate(); err != nil {
 		return cfg, 0, err
 	}
-	if len(trainSet) < cfg.Ranks {
-		return cfg, 0, fmt.Errorf("train: %d training samples for %d ranks; SSGD requires at least one sample per rank (§VII-B)", len(trainSet), cfg.Ranks)
+	var stepsPerEpoch int
+	if cfg.Data != nil {
+		if len(trainSet) > 0 {
+			return cfg, 0, fmt.Errorf("train: Config.Data and an in-memory training set are mutually exclusive")
+		}
+		if dim := cfg.Data.Dim(); dim != cfg.Topology.InputDim {
+			return cfg, 0, fmt.Errorf("train: dataset samples are dim %d but Topology.InputDim is %d", dim, cfg.Topology.InputDim)
+		}
+		stepsPerEpoch = cfg.Data.StepsPerEpoch(cfg.Ranks)
+		if stepsPerEpoch < 1 {
+			return cfg, 0, fmt.Errorf("train: dataset cannot feed %d ranks; SSGD requires at least one shard per rank", cfg.Ranks)
+		}
+	} else {
+		if len(trainSet) < cfg.Ranks {
+			return cfg, 0, fmt.Errorf("train: %d training samples for %d ranks; SSGD requires at least one sample per rank (§VII-B)", len(trainSet), cfg.Ranks)
+		}
+		stepsPerEpoch = len(trainSet) / cfg.Ranks
 	}
-	stepsPerEpoch := len(trainSet) / cfg.Ranks
 	totalSteps := stepsPerEpoch * cfg.Epochs
 	if cfg.Optim.Schedule.DecaySteps == 0 {
 		if cfg.Optim.Schedule.Eta0 == 0 && cfg.Optim.Schedule.EtaMin == 0 {
@@ -248,15 +274,21 @@ func runRank(cfg Config, rank int, c *comm.Comm, net *nn.Network,
 	}
 
 	gradBuf := make([]float32, net.GradSize())
-	shard := &shardIterator{samples: trainSet, ranks: cfg.Ranks, rank: rank, seed: cfg.Seed}
+	src := newRankData(cfg, rank, trainSet)
+	defer src.close()
 
 	for epoch := startEpoch; epoch < cfg.Epochs; epoch++ {
 		epochStart := time.Now()
-		shard.startEpoch(epoch)
+		if err := src.startEpoch(epoch); err != nil {
+			return fmt.Errorf("train: rank %d epoch %d: %w", rank, epoch, err)
+		}
 		var lossSum float64
 		for step := 0; step < stepsPerEpoch; step++ {
 			ioStart := time.Now()
-			sample := shard.next()
+			sample, err := src.next()
+			if err != nil {
+				return fmt.Errorf("train: rank %d epoch %d step %d: %w", rank, epoch, step, err)
+			}
 			x := tensor.FromData(sample.Voxels, sample.NumChannels(), sample.Dim, sample.Dim, sample.Dim)
 			if profile != nil && rank == 0 {
 				profile.Add(CatIO, time.Since(ioStart))
@@ -385,6 +417,71 @@ func validate(c *comm.Comm, net *nn.Network, valSet []*cosmo.Sample, rank, ranks
 		return 0
 	}
 	return totalSum / totalCount
+}
+
+// rankData feeds one rank its per-epoch training samples. Two
+// implementations: memData deals from the in-memory training set,
+// streamData pulls rank-disjoint shards from Config.Data. The returned
+// sample may be invalidated by the following next call (streaming sources
+// recycle voxel buffers), which is safe here because each training step
+// fully consumes its sample before requesting another.
+type rankData interface {
+	startEpoch(epoch int) error
+	next() (*cosmo.Sample, error)
+	close()
+}
+
+// newRankData picks the source runRank trains from.
+func newRankData(cfg Config, rank int, trainSet []*cosmo.Sample) rankData {
+	if cfg.Data != nil {
+		return &streamData{src: cfg.Data, rank: rank, ranks: cfg.Ranks}
+	}
+	return &memData{it: shardIterator{samples: trainSet, ranks: cfg.Ranks, rank: rank, seed: cfg.Seed}}
+}
+
+// memData adapts shardIterator to the rankData surface.
+type memData struct{ it shardIterator }
+
+func (d *memData) startEpoch(epoch int) error   { d.it.startEpoch(epoch); return nil }
+func (d *memData) next() (*cosmo.Sample, error) { return d.it.next(), nil }
+func (d *memData) close()                       {}
+
+// streamData opens one data.SampleStream per epoch. The previous epoch's
+// stream is closed on the next startEpoch (or at close), releasing its
+// prefetch goroutine even when the epoch's step count truncated the stream
+// before exhaustion.
+type streamData struct {
+	src         data.Dataset
+	rank, ranks int
+	cur         data.SampleStream
+}
+
+func (d *streamData) startEpoch(epoch int) error {
+	d.close()
+	s, err := d.src.EpochStream(epoch, d.rank, d.ranks)
+	if err != nil {
+		return err
+	}
+	d.cur = s
+	return nil
+}
+
+func (d *streamData) next() (*cosmo.Sample, error) {
+	s, err := d.cur.Next()
+	if err == io.EOF {
+		// StepsPerEpoch truncation guarantees the stream outlasts the
+		// epoch; running dry mid-epoch means the dataset changed out from
+		// under the manifest.
+		return nil, fmt.Errorf("sample stream exhausted mid-epoch")
+	}
+	return s, err
+}
+
+func (d *streamData) close() {
+	if d.cur != nil {
+		d.cur.Close()
+		d.cur = nil
+	}
 }
 
 // shardIterator deals samples to ranks: a deterministic epoch-dependent

@@ -1,6 +1,6 @@
 #!/bin/sh
 # Collects the machine-readable benchmark trajectory: one BENCH_<area>.json
-# per area (kernel, dist, serve, gateway) under $BENCH_OUT, each stamped
+# per area (kernel, dist, data, serve, gateway) under $BENCH_OUT, stamped
 # with the git SHA and the cosmoflow-bench/v1 schema. Invoked by
 # `make bench-json`; `make bench-compare` (cosmoflow-benchdiff) then gates
 # the result against the committed bench/baseline/. Sizes are deliberately
@@ -36,6 +36,9 @@ echo "== kernel (Table-I conv sweep, ${BENCH_DIM}^3) =="
 
 echo "== dist (comm collectives, in-process worlds) =="
 "$BENCH_BIN" -area dist -iters "$BENCH_ITERS" -json "$BENCH_OUT/BENCH_dist.json"
+
+echo "== data (loader streaming over sharded TFRecords) =="
+"$BENCH_BIN" -area data -iters "$BENCH_ITERS" -json "$BENCH_OUT/BENCH_data.json"
 
 S1=http://127.0.0.1:18191
 S2=http://127.0.0.1:18192

@@ -1,0 +1,96 @@
+#!/bin/sh
+# data-smoke: end-to-end streaming-data smoke (the PR 8 acceptance run).
+# cosmoflow-datagen writes a sharded TFRecord dataset with a manifest
+# (per-shard sample counts + checksums); then
+#   1. a 2-process TCP world streaming local shards (-stream) reproduces
+#      the in-process streaming run's per-epoch losses bit-for-bit,
+#   2. the same world pulling its shards over HTTP from cosmoflow-shardd
+#      (-data-url) matches bit-for-bit too, and
+#   3. killing the remote-streaming world mid-run and relaunching it
+#      resumes from the checkpoint with the remaining epochs bit-identical
+#      to the uninterrupted run.
+# Expects binaries at $TRAIN_BIN/$DATAGEN_BIN/$SHARDD_BIN (defaults under
+# /tmp; `make data-smoke` builds them there).
+set -eu
+
+TRAIN_BIN=${TRAIN_BIN:-/tmp/cosmoflow-train}
+DATAGEN_BIN=${DATAGEN_BIN:-/tmp/cosmoflow-datagen}
+SHARDD_BIN=${SHARDD_BIN:-/tmp/cosmoflow-shardd}
+SHARDD_ADDR=${SHARDD_ADDR:-127.0.0.1:19200}
+
+DIR=$(mktemp -d /tmp/data-smoke-XXXXXX)
+CKPT="$DIR/smoke.ckpt"
+SHARDD_PID=""
+cleanup() {
+    [ -n "$SHARDD_PID" ] && kill -TERM "$SHARDD_PID" 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+ARGS="-epochs 3 -base 2 -helpers 2 -seed 7"
+
+# losses filters a training log to "epoch trainloss valloss" rows.
+losses() { awk '/^ *[0-9]+ /{print $1, $2, $3}'; }
+
+echo "== generating sharded dataset (manifest + checksums)"
+"$DATAGEN_BIN" -out "$DIR/data" -sims 3 -val 1 -test 0 -ngrid 32 -per-file 4 -seed 5
+if [ ! -f "$DIR/data/manifest.json" ]; then
+    echo "data-smoke: FAIL: datagen wrote no manifest" >&2
+    exit 1
+fi
+
+echo "== in-process 2-rank streaming reference"
+ref="$($TRAIN_BIN -stream -data "$DIR/data" -ranks 2 $ARGS | losses)"
+if [ -z "$ref" ]; then
+    echo "data-smoke: FAIL: reference run produced no epoch table" >&2
+    exit 1
+fi
+echo "$ref"
+
+echo "== 2-process TCP world streaming local shards"
+got="$($TRAIN_BIN -stream -data "$DIR/data" -launch 2 $ARGS | losses)"
+if [ "$got" != "$ref" ]; then
+    echo "data-smoke: FAIL: local-shard TCP world losses differ from in-process run" >&2
+    printf 'in-process:\n%s\nTCP world:\n%s\n' "$ref" "$got" >&2
+    exit 1
+fi
+echo "bit-identical to the in-process streaming run"
+
+echo "== 2-process TCP world streaming from cosmoflow-shardd"
+"$SHARDD_BIN" -data "$DIR/data" -addr "$SHARDD_ADDR" &
+SHARDD_PID=$!
+ready=""
+for _ in $(seq 1 50); do
+    if curl -sf "http://$SHARDD_ADDR/healthz" >/dev/null 2>&1; then ready=1; break; fi
+    sleep 0.2
+done
+if [ -z "$ready" ]; then
+    echo "data-smoke: FAIL: cosmoflow-shardd never became ready" >&2
+    exit 1
+fi
+got="$($TRAIN_BIN -data-url "http://$SHARDD_ADDR" -launch 2 $ARGS | losses)"
+if [ "$got" != "$ref" ]; then
+    echo "data-smoke: FAIL: remote-shard TCP world losses differ from in-process run" >&2
+    printf 'in-process:\n%s\nremote world:\n%s\n' "$ref" "$got" >&2
+    exit 1
+fi
+echo "bit-identical over HTTP shard staging"
+
+echo "== mid-run world kill + relaunch (remote shards, checkpoint resume)"
+out="$($TRAIN_BIN -data-url "http://$SHARDD_ADDR" -launch 2 $ARGS \
+    -ckpt "$CKPT" -abort-after 1 -max-restarts 1 2>&1)"
+if ! echo "$out" | grep -q "relaunching from"; then
+    echo "data-smoke: FAIL: launcher never relaunched the failed world" >&2
+    echo "$out" >&2
+    exit 1
+fi
+tail="$(echo "$out" | losses)"
+want_tail="$(echo "$ref" | awk '$1 >= 1')"
+if [ "$tail" != "$want_tail" ]; then
+    echo "data-smoke: FAIL: resumed epochs differ from the uninterrupted run" >&2
+    printf 'want:\n%s\ngot:\n%s\n' "$want_tail" "$tail" >&2
+    exit 1
+fi
+echo "resumed epochs bit-identical to the uninterrupted run"
+echo "data-smoke: PASS"
