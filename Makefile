@@ -5,11 +5,11 @@
 
 GO ?= go
 
-.PHONY: check ci fmt vet build test race bench bench-smoke serve-smoke api-smoke dist-smoke data-smoke fuzz-smoke gateway-smoke tenancy-smoke bench-json bench-compare
+.PHONY: check ci fmt vet build test race bench bench-smoke serve-smoke api-smoke dist-smoke data-smoke fuzz-smoke gateway-smoke tenancy-smoke metrics-smoke bench-json bench-compare bench-archive bench-trend
 
 check: fmt vet build test
 
-ci: fmt vet build test race fuzz-smoke bench-smoke serve-smoke api-smoke dist-smoke data-smoke gateway-smoke tenancy-smoke bench-json bench-compare
+ci: fmt vet build test race fuzz-smoke bench-smoke serve-smoke api-smoke dist-smoke data-smoke gateway-smoke tenancy-smoke metrics-smoke bench-json bench-compare
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -86,12 +86,25 @@ data-smoke:
 	$(GO) build -o /tmp/cosmoflow-shardd ./cmd/cosmoflow-shardd
 	sh scripts/data_smoke.sh
 
+# Fleet scrape-surface smoke: all three daemons up, every GET /metrics
+# parser-validated as Prometheus text exposition (cosmoflow-metrics wraps
+# obsv.ParseExposition), then traffic through each and known counters
+# asserted to have moved (scripts/metrics_smoke.sh).
+metrics-smoke:
+	$(GO) build -o /tmp/cosmoflow-serve ./cmd/cosmoflow-serve
+	$(GO) build -o /tmp/cosmoflow-gateway ./cmd/cosmoflow-gateway
+	$(GO) build -o /tmp/cosmoflow-shardd ./cmd/cosmoflow-shardd
+	$(GO) build -o /tmp/cosmoflow-datagen ./cmd/cosmoflow-datagen
+	$(GO) build -o /tmp/cosmoflow-loadgen ./cmd/cosmoflow-loadgen
+	$(GO) build -o /tmp/cosmoflow-metrics ./cmd/cosmoflow-metrics
+	sh scripts/metrics_smoke.sh
+
 # Benchmark trajectory: collect one BENCH_<area>.json per area (kernel,
-# dist, data, serve, gateway) under bench/out with the cosmoflow-bench/v1
-# schema (scripts/bench_collect.sh), then gate against the committed
-# bench/baseline. BENCH_THRESHOLD is the regression tolerance in percent —
-# 5 locally; CI uses a higher value because the committed baselines were
-# collected on a different machine class.
+# dist, data, serve, gateway, roofline) under bench/out with the
+# cosmoflow-bench/v1 schema (scripts/bench_collect.sh), then gate against
+# the committed bench/baseline. BENCH_THRESHOLD is the regression
+# tolerance in percent — 5 locally; CI uses a higher value because the
+# committed baselines were collected on a different machine class.
 BENCH_THRESHOLD ?= 5
 
 bench-json:
@@ -104,6 +117,17 @@ bench-json:
 bench-compare:
 	$(GO) build -o /tmp/cosmoflow-benchdiff ./cmd/cosmoflow-benchdiff
 	/tmp/cosmoflow-benchdiff -baseline bench/baseline -current bench/out -threshold $(BENCH_THRESHOLD)
+
+# Trend history: archive the freshly collected bench/out reports into the
+# per-SHA history (bench/history/<area>/<sha>.json; re-archiving a SHA
+# overwrites), and render the metric-over-commits tables from it.
+bench-archive:
+	$(GO) build -o /tmp/cosmoflow-benchdiff ./cmd/cosmoflow-benchdiff
+	/tmp/cosmoflow-benchdiff -archive bench/history -current bench/out
+
+bench-trend:
+	$(GO) build -o /tmp/cosmoflow-benchdiff ./cmd/cosmoflow-benchdiff
+	/tmp/cosmoflow-benchdiff -trend -history bench/history
 
 # Cluster serving smoke: 3 backends + gateway, predict over both
 # encodings (bit-identity against a direct backend), lifecycle fan-out,

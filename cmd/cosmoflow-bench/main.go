@@ -13,7 +13,10 @@
 // (obsv.Report: git SHA, timestamp, metric→value map) to the given path;
 // -area selects what is measured: "kernel" (default) is the Table-I
 // per-layer sweep, "dist" times the comm collectives over in-process
-// worlds through the obsv recorder.
+// worlds through the obsv recorder, "data" streams the sharded loader,
+// and "roofline" joins every layer's analytic FLOP count with traced
+// forward wall time into per-layer GFLOP/s attribution (the paper's §V-A
+// Gflop/s accounting, every layer not just convs).
 package main
 
 import (
@@ -45,7 +48,7 @@ func main() {
 	base := flag.Int("base", 16, "base channel count (16 = paper)")
 	iters := flag.Int("iters", 3, "timing iterations per operator")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "compute threads")
-	area := flag.String("area", "kernel", "benchmark area: kernel (Table-I conv sweep), dist (comm collectives), or data (loader streaming)")
+	area := flag.String("area", "kernel", "benchmark area: kernel (Table-I conv sweep), dist (comm collectives), data (loader streaming), or roofline (per-layer GFLOP/s attribution)")
 	jsonPath := flag.String("json", "", "also write an obsv benchmark report to this path (empty: stdout only)")
 	flag.Parse()
 
@@ -57,8 +60,10 @@ func main() {
 		rep = benchDist(*iters)
 	case "data":
 		rep = benchData(*iters, *workers)
+	case "roofline":
+		rep = benchRoofline(*dim, *base, *iters, *workers)
 	default:
-		log.Fatalf("unknown -area %q (want kernel, dist, or data)", *area)
+		log.Fatalf("unknown -area %q (want kernel, dist, data, or roofline)", *area)
 	}
 	if *jsonPath != "" {
 		if err := rep.WriteFile(*jsonPath); err != nil {
@@ -145,6 +150,88 @@ func benchKernel(dim, base, iters, workers int) *obsv.Report {
 	rep.SetLower("total_bwd_ms", ms(totBwd), "ms")
 	rep.SetHigher("total_fwd_gflops", gflops(totFwdF, totFwd), "GF/s")
 	rep.SetHigher("total_bwd_gflops", gflops(totBwdF, totBwd), "GF/s")
+	return rep
+}
+
+// benchRoofline runs traced single-sample forward passes and joins the
+// ForwardTrace spans with each layer's analytic FLOP count into the
+// per-layer GFLOP/s roofline — the same attribution cosmoflow-serve
+// exposes at GET /v1/roofline, here measured offline on this machine's
+// kernels so the trajectory can gate it per commit.
+func benchRoofline(dim, base, iters, workers int) *obsv.Report {
+	pool := parallel.NewPool(workers)
+	defer pool.Close()
+	net, err := nn.BuildCosmoFlow(nn.TopologyConfig{
+		InputDim: dim, BaseChannels: base, Seed: 1, Pool: pool,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(4))
+	x := tensor.New(net.InputShape()...)
+	x.RandNormal(rng, 0, 1)
+	net.Infer(x) // warm caches before the trace starts counting
+
+	trace := obsv.NewForwardTrace(net.LayerNames())
+	net.SetTrace(trace)
+	for i := 0; i < iters; i++ {
+		net.Infer(x)
+	}
+	_, spans := trace.Snapshot()
+
+	perLayer := net.PerLayerFLOPs()
+	flops := make([]int64, len(perLayer))
+	for i, lf := range perLayer {
+		flops[i] = lf.Fwd
+	}
+	// Each Infer is one sample, so samples == iters (unlike serving, where
+	// one span observation covers a whole micro-batch).
+	roofline := obsv.BuildRoofline(spans, flops, int64(iters))
+
+	rep := obsv.NewReport("roofline")
+	rep.Config["dim"] = fmt.Sprint(dim)
+	rep.Config["base"] = fmt.Sprint(base)
+	rep.Config["iters"] = fmt.Sprint(iters)
+	rep.Config["workers"] = fmt.Sprint(workers)
+
+	// Layers below this FLOP count run in microseconds at bench sizes, so
+	// their GFLOP/s is scheduler noise; they are printed but stay out of
+	// the gated trajectory. The floor is on FLOPs (deterministic for a
+	// given -dim/-base), never on observed time — a time floor would make
+	// the report's metric set machine-dependent and trip the benchdiff
+	// MISSING check across machine classes.
+	const gateFloor = 400_000
+
+	fmt.Printf("roofline attribution (%d³ input, base %d, %d threads, %d passes)\n\n",
+		dim, base, workers, iters)
+	fmt.Printf("%-10s %14s %10s %9s %8s\n", "layer", "flops/sample", "avg(ms)", "GF/s", "%best")
+	var totFLOPs int64
+	var totMs float64
+	starved := ""
+	starvedPct := 0.0
+	for _, lr := range roofline {
+		fmt.Printf("%-10s %14d %10.3f %9.2f %8.1f\n",
+			lr.Layer, lr.FLOPsPerSample, lr.AvgMs, lr.GFLOPS, lr.PctOfBest)
+		if lr.GFLOPS > 0 {
+			if lr.FLOPsPerSample >= gateFloor {
+				rep.SetHigher(lr.Layer+"_gflops", lr.GFLOPS, "GF/s")
+			}
+			if starved == "" || lr.PctOfBest < starvedPct {
+				starved, starvedPct = lr.Layer, lr.PctOfBest
+			}
+		}
+		totFLOPs += lr.FLOPsPerSample
+		totMs += lr.TotalMs
+	}
+	if totMs > 0 {
+		total := float64(totFLOPs) * float64(iters) / (totMs / 1e3) / 1e9
+		fmt.Printf("%-10s %14d %10.3f %9.2f\n", "total", totFLOPs, totMs/float64(iters), total)
+		rep.SetHigher("total_fwd_gflops", total, "GF/s")
+	}
+	if starved != "" {
+		fmt.Printf("\nmost FLOP-starved layer: %s (%.1f%% of best observed rate)\n", starved, starvedPct)
+	}
 	return rep
 }
 

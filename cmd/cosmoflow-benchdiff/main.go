@@ -6,12 +6,21 @@
 // Usage:
 //
 //	cosmoflow-benchdiff -baseline bench/baseline -current bench/out [-threshold 5]
+//	cosmoflow-benchdiff -archive bench/history -current bench/out
+//	cosmoflow-benchdiff -trend [-history bench/history] [-area kernel] [-metric total_fwd_ms]
 //
 // A metric regresses when it moves in its worse direction (each metric
 // carries its own better=higher|lower direction) by more than -threshold
 // percent, or when it — or a whole area's report — vanished from the
 // current run. Metrics new in the current run are ignored; refreshing the
 // baseline picks them up.
+//
+// Beyond the pass/fail gate, the tool maintains the benchmark trend
+// history: -archive appends every report in -current to the history
+// directory as <area>/<git-sha>.json (re-archiving a SHA overwrites, so
+// re-runs stay idempotent), and -trend renders metric-over-commits tables
+// from that history — the per-commit trajectory the gate alone cannot
+// show.
 package main
 
 import (
@@ -19,6 +28,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
+	"sort"
 
 	"repro/internal/obsv"
 )
@@ -30,16 +41,82 @@ func main() {
 	baseline := flag.String("baseline", "bench/baseline", "directory of committed baseline BENCH_*.json reports")
 	current := flag.String("current", "bench/out", "directory of freshly collected BENCH_*.json reports")
 	threshold := flag.Float64("threshold", 5, "regression threshold in percent")
+	archive := flag.String("archive", "", "append every report in -current to this history directory and exit")
+	trend := flag.Bool("trend", false, "print metric-over-commits trend tables from -history and exit")
+	history := flag.String("history", "bench/history", "history directory read by -trend")
+	area := flag.String("area", "", "restrict -trend to one area (empty: all areas)")
+	metric := flag.String("metric", "", "restrict -trend to one metric (empty: all metrics)")
 	flag.Parse()
 
-	table, regressed, err := obsv.CompareDirs(*baseline, *current, *threshold)
+	switch {
+	case *archive != "":
+		if err := archiveReports(*current, *archive); err != nil {
+			log.Fatal(err)
+		}
+	case *trend:
+		if err := printTrend(*history, *area, *metric); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		table, regressed, err := obsv.CompareDirs(*baseline, *current, *threshold)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(table)
+		if regressed {
+			fmt.Printf("FAIL: regression(s) beyond %.1f%% (lines marked !!)\n", *threshold)
+			os.Exit(1)
+		}
+		fmt.Printf("OK: no regression beyond %.1f%%\n", *threshold)
+	}
+}
+
+// archiveReports appends every report under dir to the history directory
+// as <area>/<git-sha>.json.
+func archiveReports(dir, histDir string) error {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.json"))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	fmt.Print(table)
-	if regressed {
-		fmt.Printf("FAIL: regression(s) beyond %.1f%% (lines marked !!)\n", *threshold)
-		os.Exit(1)
+	if len(paths) == 0 {
+		return fmt.Errorf("no reports in %s", dir)
 	}
-	fmt.Printf("OK: no regression beyond %.1f%%\n", *threshold)
+	sort.Strings(paths)
+	for _, p := range paths {
+		r, err := obsv.ReadReport(p)
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		dst, err := obsv.ArchiveReport(histDir, r)
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		fmt.Printf("archived %s -> %s\n", filepath.Base(p), dst)
+	}
+	return nil
+}
+
+// printTrend renders the metric-over-commits tables for one or all areas.
+func printTrend(histDir, area, metric string) error {
+	areas := []string{area}
+	if area == "" {
+		var err error
+		if areas, err = obsv.HistoryAreas(histDir); err != nil {
+			return err
+		}
+		if len(areas) == 0 {
+			return fmt.Errorf("no history under %s (run -archive first)", histDir)
+		}
+	}
+	for i, a := range areas {
+		reports, err := obsv.LoadHistory(histDir, a)
+		if err != nil {
+			return err
+		}
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(obsv.TrendTable(reports, metric))
+	}
+	return nil
 }

@@ -36,6 +36,7 @@
 //	GET    /healthz                   503 until ≥1 backend is ready per model
 //	GET    /stats                     cosmoflow-stats/v2: routing counters,
 //	                                  per-backend + per-tenant + admission view
+//	GET    /metrics                   Prometheus text exposition of the same counters
 //
 // /healthz follows the same readiness contract as a single backend, so
 // orchestrators and smoke scripts reuse one poll for both tiers.
@@ -47,7 +48,6 @@ import (
 	"flag"
 	"log"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -55,26 +55,9 @@ import (
 	"time"
 
 	"repro/internal/gateway"
+	"repro/internal/obsv"
 	"repro/internal/serve/api"
 )
-
-// startDebugListener serves net/http/pprof on its own listener, so
-// profiling never shares a port (or a mux) with the proxy API. Off by
-// default; see DESIGN.md "Observability".
-func startDebugListener(addr string) {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	go func() {
-		log.Printf("pprof debug listener on %s", addr)
-		if err := http.ListenAndServe(addr, mux); err != nil {
-			log.Printf("debug listener: %v", err)
-		}
-	}()
-}
 
 func main() {
 	log.SetFlags(0)
@@ -94,7 +77,7 @@ func main() {
 	hedgeMin := flag.Duration("hedge-min", 10*time.Millisecond, "hedge delay floor")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
 	trace := flag.Bool("trace", false, "record per-request phase attribution and per-backend upstream spans (GET /v1/trace)")
-	debugAddr := flag.String("debug-addr", "", "pprof debug listen address, e.g. localhost:6061 (empty: disabled)")
+	debugAddr := flag.String("debug-addr", "", "pprof + /metrics debug listen address, e.g. localhost:6061 (empty: disabled)")
 
 	tenantsFile := flag.String("tenants", "", "JSON tenant table file ({\"tenants\":[{\"key\",\"name\",\"class\",\"rate_per_sec\",\"burst\"}]}); empty leaves the data plane open")
 	adminKey := flag.String("admin-key", "", "operator key guarding /v1/admin/* (empty leaves the admin plane open)")
@@ -115,9 +98,6 @@ func main() {
 
 	if *backends == "" && !*supervise {
 		log.Fatal("-backends is required (comma-separated cosmoflow-serve base URLs), or enable -supervise")
-	}
-	if *debugAddr != "" {
-		startDebugListener(*debugAddr)
 	}
 	var tenants []api.Tenant
 	if *tenantsFile != "" {
@@ -177,6 +157,11 @@ func main() {
 	}
 
 	srv := gateway.NewServer(gw, *addr)
+	if *debugAddr != "" {
+		// The debug listener mounts the same scrape registry as the proxy
+		// mux's GET /metrics, plus net/http/pprof.
+		obsv.StartDebugListener(*debugAddr, gw.MetricsRegistry())
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("listening on %s, fronting %d backends, policy %s (healthz turns 200 when every model has a ready backend)",

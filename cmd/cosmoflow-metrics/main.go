@@ -1,0 +1,97 @@
+// Command cosmoflow-metrics scrapes a Prometheus-text /metrics endpoint
+// and asserts on it — the fleet's scrape-surface checker, used by
+// `make metrics-smoke` so CI validates the exposition format with the same
+// parser the tests use instead of grepping raw text.
+//
+// Usage:
+//
+//	cosmoflow-metrics -url http://127.0.0.1:8080/metrics
+//	cosmoflow-metrics -url ... -expect cosmoflow_serve_requests_total
+//	cosmoflow-metrics -url ... -min cosmoflow_serve_requests_total=5
+//
+// The scrape fails (exit 1) when the endpoint is unreachable, the body is
+// not valid exposition format, an -expect family is absent, or a -min
+// family's sample sum is below the bound. Both flags repeat.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"repro/internal/obsv"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cosmoflow-metrics: ")
+
+	url := flag.String("url", "", "metrics endpoint to scrape, e.g. http://127.0.0.1:8080/metrics")
+	var expects []string
+	flag.Func("expect", "family that must be present (repeatable)", func(v string) error {
+		expects = append(expects, v)
+		return nil
+	})
+	mins := map[string]float64{}
+	flag.Func("min", "family=value: family's sample sum must be >= value (repeatable)", func(v string) error {
+		name, bound, ok := strings.Cut(v, "=")
+		if !ok {
+			return fmt.Errorf("want family=value, got %q", v)
+		}
+		f, err := strconv.ParseFloat(bound, 64)
+		if err != nil {
+			return err
+		}
+		mins[name] = f
+		return nil
+	})
+	flag.Parse()
+	if *url == "" {
+		log.Fatal("-url is required")
+	}
+
+	resp, err := http.Get(*url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: %s", *url, resp.Status)
+	}
+	fams, err := obsv.ParseExposition(resp.Body)
+	if err != nil {
+		log.Fatalf("invalid exposition from %s: %v", *url, err)
+	}
+
+	samples := 0
+	for _, f := range fams {
+		samples += len(f.Samples)
+	}
+	fmt.Printf("%s: %d families, %d samples\n", *url, len(fams), samples)
+
+	failed := false
+	for _, name := range expects {
+		if _, ok := fams[name]; !ok {
+			log.Printf("FAIL: family %s absent", name)
+			failed = true
+		}
+	}
+	for name, bound := range mins {
+		f, ok := fams[name]
+		if !ok {
+			log.Printf("FAIL: family %s absent (want sum >= %g)", name, bound)
+			failed = true
+			continue
+		}
+		if sum := f.Sum(); sum < bound {
+			log.Printf("FAIL: %s sum = %g, want >= %g", name, sum, bound)
+			failed = true
+		}
+	}
+	if failed {
+		log.Fatal("assertions failed")
+	}
+}

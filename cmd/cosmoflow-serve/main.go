@@ -15,6 +15,9 @@
 //	DELETE /v1/models/{name}          drain + unload
 //	GET    /healthz                   readiness (503 until every model is ready)
 //	GET    /stats                     request counters, batch sizes, latency quantiles
+//	GET    /metrics                   Prometheus text exposition of the same counters
+//	GET    /v1/trace                  per-layer forward timings (models loaded with -trace)
+//	GET    /v1/roofline               per-layer GFLOP/s attribution (models loaded with -trace)
 //	POST   /predict                   deprecated v0 alias (JSON only)
 //
 // The listener comes up immediately and the startup model loads
@@ -33,7 +36,6 @@ import (
 	"flag"
 	"log"
 	"net/http"
-	"net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
@@ -41,26 +43,9 @@ import (
 	"time"
 
 	"repro/internal/nn"
+	"repro/internal/obsv"
 	"repro/internal/serve"
 )
-
-// startDebugListener serves net/http/pprof on its own listener, so
-// profiling never shares a port (or a mux) with the serving API. Off by
-// default; see DESIGN.md "Observability".
-func startDebugListener(addr string) {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	go func() {
-		log.Printf("pprof debug listener on %s", addr)
-		if err := http.ListenAndServe(addr, mux); err != nil {
-			log.Printf("debug listener: %v", err)
-		}
-	}()
-}
 
 func main() {
 	log.SetFlags(0)
@@ -78,12 +63,9 @@ func main() {
 	maxDelay := flag.Duration("max-delay", 2*time.Millisecond, "micro-batch coalescing deadline")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
 	trace := flag.Bool("trace", false, "record per-layer forward timings (GET /v1/trace and the /stats layers section)")
-	debugAddr := flag.String("debug-addr", "", "pprof debug listen address, e.g. localhost:6060 (empty: disabled)")
+	debugAddr := flag.String("debug-addr", "", "pprof + /metrics debug listen address, e.g. localhost:6060 (empty: disabled)")
 	flag.Parse()
 
-	if *debugAddr != "" {
-		startDebugListener(*debugAddr)
-	}
 	if *ckpt == "" {
 		log.Print("warning: no -ckpt given; serving freshly initialized weights")
 	}
@@ -123,6 +105,11 @@ func main() {
 	}()
 
 	srv := serve.NewServer(reg, *addr)
+	if *debugAddr != "" {
+		// The debug listener mounts the same scrape registry as the serving
+		// mux's GET /metrics, plus net/http/pprof.
+		obsv.StartDebugListener(*debugAddr, srv.MetricsRegistry())
+	}
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	log.Printf("listening on %s (v1 API; /healthz turns 200 when the model is ready)", *addr)

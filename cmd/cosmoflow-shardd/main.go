@@ -14,6 +14,7 @@
 //	GET /shards/{file}   one shard's bytes (Range supported)
 //	GET /healthz         200 once the manifest is readable
 //	GET /stats           plain-text transfer counters
+//	GET /metrics         Prometheus text exposition of the same counters
 //
 // Only manifest-listed shard files are served. SIGINT/SIGTERM triggers a
 // graceful shutdown: the listener closes and in-flight transfers drain.
@@ -33,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/data"
+	"repro/internal/obsv"
 )
 
 func main() {
@@ -42,6 +44,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:9000", "listen address")
 	dir := flag.String("data", "data", "dataset directory (needs a manifest; see cosmoflow-datagen)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown drain budget")
+	debugAddr := flag.String("debug-addr", "", "pprof + /metrics debug listen address, e.g. localhost:6062 (empty: disabled)")
 	flag.Parse()
 
 	m, err := data.LoadManifest(*dir)
@@ -64,7 +67,11 @@ func main() {
 	}
 	log.Printf("serving %s on http://%s", *dir, ln.Addr())
 
-	srv := &http.Server{Handler: data.NewHandler(*dir)}
+	h := data.NewHandler(*dir)
+	if *debugAddr != "" {
+		obsv.StartDebugListener(*debugAddr, h.MetricsRegistry())
+	}
+	srv := &http.Server{Handler: h}
 	done := make(chan struct{})
 	go func() {
 		defer close(done)

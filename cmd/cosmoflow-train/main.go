@@ -42,6 +42,7 @@ import (
 	"repro/internal/data"
 	"repro/internal/dist"
 	"repro/internal/nn"
+	"repro/internal/obsv"
 	"repro/internal/optim"
 	"repro/internal/tfrecord"
 	"repro/internal/train"
@@ -74,6 +75,7 @@ func main() {
 	launch := flag.Int("launch", 0, "fork N local worker processes and supervise them")
 	maxRestarts := flag.Int("max-restarts", 2, "with -launch and -ckpt: relaunch a failed world up to N times")
 	abortAfter := flag.Int("abort-after", 0, "fault injection: rank 0 aborts after N epochs (dist mode; for tests)")
+	debugAddr := flag.String("debug-addr", "", "pprof + /metrics debug listen address, e.g. localhost:6063 (empty: disabled; /metrics carries the streaming loader's stage spans)")
 	flag.Parse()
 
 	if *launch > 0 {
@@ -82,6 +84,7 @@ func main() {
 
 	var trainSet, valSet []*cosmo.Sample
 	var loader *data.Loader
+	var loaderRec *obsv.Recorder
 	switch {
 	case *stream || *dataURL != "":
 		// Streaming mode: the training split never sits whole in memory.
@@ -96,7 +99,8 @@ func main() {
 			log.Fatal("-stream requires -data DIR (or use -data-url URL)")
 		}
 		var err error
-		loader, err = data.NewLoader(data.Config{Source: src, Seed: *seed})
+		loaderRec = obsv.NewRecorder()
+		loader, err = data.NewLoader(data.Config{Source: src, Seed: *seed, Recorder: loaderRec})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -126,6 +130,22 @@ func main() {
 		valSet = trainSet[:min(len(trainSet), 8)]
 	default:
 		log.Fatal("provide -data DIR, -data-url URL, or -synthetic N")
+	}
+
+	if *debugAddr != "" {
+		// Training is not an HTTP daemon; the debug listener is its only
+		// scrape surface. Alongside pprof it serves GET /metrics with the
+		// streaming loader's stage spans (read/decode/wait_consumer/
+		// starved) when -stream or -data-url is on.
+		reg := obsv.NewMetricsRegistry()
+		startedAt := time.Now()
+		reg.GaugeFunc("cosmoflow_train_uptime_seconds", "seconds since the trainer started", func() []obsv.Sample {
+			return []obsv.Sample{{Value: time.Since(startedAt).Seconds()}}
+		})
+		if loaderRec != nil {
+			obsv.RegisterRecorder(reg, "cosmoflow_train_loader", "streaming loader stage spans", loaderRec)
+		}
+		obsv.StartDebugListener(*debugAddr, reg)
 	}
 
 	algorithm := comm.Ring

@@ -1,0 +1,76 @@
+package data
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/obsv"
+)
+
+// TestShardHandlerMetrics checks the shard server's GET /metrics parses
+// and its transfer counters move with traffic.
+func TestShardHandlerMetrics(t *testing.T) {
+	dir := writeDataset(t, 8, 8, 0, 4, 5)
+	h := NewHandler(dir)
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	scrape := func() map[string]*obsv.ParsedFamily {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /metrics = %d, want 200", resp.StatusCode)
+		}
+		fams, perr := obsv.ParseExposition(resp.Body)
+		if perr != nil {
+			t.Fatalf("exposition does not parse: %v", perr)
+		}
+		return fams
+	}
+
+	fams := scrape()
+	if v, ok := fams["cosmoflow_shardd_manifest_ok"].Value("cosmoflow_shardd_manifest_ok", nil); !ok || v != 1 {
+		t.Errorf("manifest_ok = %v, %v; want 1", v, ok)
+	}
+	if v, ok := fams["cosmoflow_shardd_shards_served_total"].Value("cosmoflow_shardd_shards_served_total", nil); !ok || v != 0 {
+		t.Errorf("initial shards_served_total = %v, %v; want 0", v, ok)
+	}
+
+	// Fetch the manifest and one listed shard, plus a miss.
+	m, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shard string
+	for _, shards := range m.Splits {
+		if len(shards) > 0 {
+			shard = shards[0].File
+			break
+		}
+	}
+	for _, path := range []string{"/manifest.json", "/shards/" + shard, "/shards/absent.bin"} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	fams = scrape()
+	if v, ok := fams["cosmoflow_shardd_shards_served_total"].Value("cosmoflow_shardd_shards_served_total", nil); !ok || v != 1 {
+		t.Errorf("shards_served_total = %v, %v; want 1", v, ok)
+	}
+	if v, ok := fams["cosmoflow_shardd_not_found_total"].Value("cosmoflow_shardd_not_found_total", nil); !ok || v != 1 {
+		t.Errorf("not_found_total = %v, %v; want 1", v, ok)
+	}
+	if v, ok := fams["cosmoflow_shardd_requests_total"].Value("cosmoflow_shardd_requests_total", nil); !ok || v < 4 {
+		t.Errorf("requests_total = %v, %v; want >= 4", v, ok)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"path/filepath"
 	"strings"
 	"sync/atomic"
+
+	"repro/internal/obsv"
 )
 
 // Handler serves a dataset directory over HTTP — the cosmoflow-shardd
@@ -26,10 +28,40 @@ type Handler struct {
 	requests atomic.Int64
 	shardHit atomic.Int64
 	notFound atomic.Int64
+	metrics  *obsv.MetricsRegistry
 }
 
 // NewHandler serves the dataset under dir.
-func NewHandler(dir string) *Handler { return &Handler{dir: dir} }
+func NewHandler(dir string) *Handler {
+	h := &Handler{dir: dir}
+	h.metrics = h.newMetricsRegistry()
+	return h
+}
+
+// newMetricsRegistry exposes the transfer counters behind GET /metrics —
+// the same numbers as the plain-text /stats route, in the exposition
+// format the rest of the fleet scrapes.
+func (h *Handler) newMetricsRegistry() *obsv.MetricsRegistry {
+	r := obsv.NewMetricsRegistry()
+	one := func(read func() int64) func() []obsv.Sample {
+		return func() []obsv.Sample { return []obsv.Sample{{Value: float64(read())}} }
+	}
+	r.CounterFunc("cosmoflow_shardd_requests_total", "HTTP requests handled", one(h.requests.Load))
+	r.CounterFunc("cosmoflow_shardd_shards_served_total", "shard files served", one(h.shardHit.Load))
+	r.CounterFunc("cosmoflow_shardd_not_found_total", "requests for unknown paths or unlisted shards", one(h.notFound.Load))
+	r.GaugeFunc("cosmoflow_shardd_manifest_ok", "1 when the manifest is readable", func() []obsv.Sample {
+		v := 0.0
+		if _, err := h.manifest(); err == nil {
+			v = 1
+		}
+		return []obsv.Sample{{Value: v}}
+	})
+	return r
+}
+
+// MetricsRegistry returns the handler's scrape registry, so the daemon can
+// mount the same families on its -debug-addr listener.
+func (h *Handler) MetricsRegistry() *obsv.MetricsRegistry { return h.metrics }
 
 // manifest loads the manifest fresh per request, so a datagen re-run that
 // atomically replaces it is picked up without restarting the server.
@@ -52,6 +84,8 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case r.URL.Path == "/stats":
 		fmt.Fprintf(w, "requests %d\nshards_served %d\nnot_found %d\n",
 			h.requests.Load(), h.shardHit.Load(), h.notFound.Load())
+	case r.URL.Path == "/metrics":
+		h.metrics.Handler().ServeHTTP(w, r)
 	case r.URL.Path == "/manifest.json":
 		if _, err := h.manifest(); err != nil {
 			h.notFound.Add(1)

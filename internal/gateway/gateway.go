@@ -180,6 +180,11 @@ type Gateway struct {
 	// per-backend upstream spans; both nil unless Config.Trace.
 	reqLog *obsv.RequestLog
 	upRec  *obsv.Recorder
+
+	// metrics is the GET /metrics scrape registry over the counters above,
+	// built lazily (see MetricsRegistry in metrics.go).
+	metricsOnce sync.Once
+	metrics     *obsv.MetricsRegistry
 }
 
 // New builds a Gateway and starts its probe loops (and, when configured,
@@ -303,6 +308,7 @@ func (g *Gateway) Handler() http.Handler {
 	mux.HandleFunc("/predict", g.handleLegacyPredict)
 	mux.HandleFunc("/healthz", g.handleHealthz)
 	mux.HandleFunc("/stats", g.handleStats)
+	mux.Handle("/metrics", g.MetricsRegistry().Handler())
 	return mux
 }
 

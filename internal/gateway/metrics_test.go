@@ -1,0 +1,98 @@
+package gateway
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/obsv"
+	"repro/internal/serve/wire"
+)
+
+func scrapeMetrics(t *testing.T, base string) map[string]*obsv.ParsedFamily {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != obsv.ContentTypeExposition {
+		t.Errorf("Content-Type = %q, want %q", ct, obsv.ContentTypeExposition)
+	}
+	fams, err := obsv.ParseExposition(resp.Body)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	return fams
+}
+
+// TestGatewayMetricsEndpoint checks GET /metrics on the gateway parses and
+// that the routing counters and per-backend series move with traffic.
+func TestGatewayMetricsEndpoint(t *testing.T) {
+	ckpt := testCheckpoint(t)
+	b := startBackend(t, ckpt)
+	_, gws := testGateway(t, Config{}, b.url)
+	waitReady(t, gws.URL)
+
+	before := scrapeMetrics(t, gws.URL)
+	if v, ok := before["cosmoflow_gateway_requests_total"].Value("cosmoflow_gateway_requests_total", nil); !ok || v != 0 {
+		t.Errorf("initial requests_total = %v, %v; want 0", v, ok)
+	}
+	if v, ok := before["cosmoflow_gateway_backend_up"].Value("cosmoflow_gateway_backend_up", map[string]string{"backend": b.url}); !ok || v != 1 {
+		t.Errorf("backend_up{backend=%s} = %v, %v; want 1", b.url, v, ok)
+	}
+
+	const n = 3
+	for i, vox := range testVoxels(t, n, 7) {
+		resp := postPredict(t, gws.URL, binBody(t, vox), wire.ContentTypeTensor, "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict %d = %d, want 200", i, resp.StatusCode)
+		}
+	}
+
+	after := scrapeMetrics(t, gws.URL)
+	if v, ok := after["cosmoflow_gateway_requests_total"].Value("cosmoflow_gateway_requests_total", nil); !ok || v != n {
+		t.Errorf("requests_total = %v, %v; want %d", v, ok, n)
+	}
+	if v, ok := after["cosmoflow_gateway_backend_requests_total"].Value("cosmoflow_gateway_backend_requests_total", map[string]string{"backend": b.url}); !ok || v < n {
+		t.Errorf("backend_requests_total = %v, %v; want >= %d", v, ok, n)
+	}
+	if v, ok := after["cosmoflow_gateway_admitted_total"].Value("cosmoflow_gateway_admitted_total", nil); !ok || v < n {
+		t.Errorf("admitted_total = %v, %v; want >= %d", v, ok, n)
+	}
+	if _, ok := after["cosmoflow_gateway_admission_capacity"]; !ok {
+		t.Error("admission_capacity family missing")
+	}
+}
+
+// TestGatewayMetricsRegistryStable checks the scrape registry is built
+// exactly once: a second Handler() mount or repeated scrapes must reuse
+// the same instance (re-registering callback families would panic).
+func TestGatewayMetricsRegistryStable(t *testing.T) {
+	ckpt := testCheckpoint(t)
+	b := startBackend(t, ckpt)
+	gw, gws := testGateway(t, Config{}, b.url)
+	waitReady(t, gws.URL)
+
+	// The registry is built once: two scrapes must hit the same instance
+	// (callback families re-registered per request would panic).
+	if gw.MetricsRegistry() != gw.MetricsRegistry() {
+		t.Fatal("MetricsRegistry not stable across calls")
+	}
+	srv := httptest.NewServer(gw.MetricsRegistry().Handler())
+	defer srv.Close()
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, perr := obsv.ParseExposition(resp.Body); perr != nil {
+			t.Fatalf("scrape %d: %v", i, perr)
+		}
+		resp.Body.Close()
+	}
+	_ = gws
+}

@@ -120,6 +120,15 @@ func ReadReport(path string) (*Report, error) {
 	if r.Schema != SchemaVersion {
 		return nil, fmt.Errorf("obsv: %s has schema %q, want %q", path, r.Schema, SchemaVersion)
 	}
+	if r.Metrics == nil {
+		return nil, fmt.Errorf("obsv: %s carries no metrics", path)
+	}
+	// A report written by an older collector (or by hand) may omit the
+	// config block entirely; hand consumers a usable empty map instead of
+	// the nil-map edge (archiving stamps keys into it).
+	if r.Config == nil {
+		r.Config = map[string]string{}
+	}
 	return &r, nil
 }
 
@@ -150,6 +159,11 @@ func Compare(baseline, current *Report, thresholdPct float64) []Delta {
 		b := baseline.Metrics[n]
 		d := Delta{Name: n, Base: b.Value, Unit: b.Unit, Better: b.Better}
 		c, ok := current.Metrics[n]
+		if d.Unit == "" && ok {
+			// Older baselines predate units on some metrics; borrow the
+			// current report's so the table never prints a bare number.
+			d.Unit = c.Unit
+		}
 		if !ok {
 			d.Missing = true
 			d.Regression = true
@@ -211,7 +225,7 @@ func CompareDirs(baselineDir, currentDir string, thresholdPct float64) (string, 
 			case d.Missing:
 				mark = "!!"
 				regressed = true
-				fmt.Fprintf(&b, "  %s %-36s %12.3f -> MISSING\n", mark, d.Name, d.Base)
+				fmt.Fprintf(&b, "  %s %-36s %12.3f %-6s -> MISSING\n", mark, d.Name, d.Base, d.Unit)
 				continue
 			case d.Regression:
 				mark = "!!"

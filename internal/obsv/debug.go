@@ -1,0 +1,39 @@
+package obsv
+
+import (
+	"log"
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux builds the shared -debug-addr surface every daemon mounts:
+// net/http/pprof under /debug/pprof/, plus GET /metrics when a registry is
+// given (nil skips the route). One helper instead of a copy per daemon —
+// cosmoflow-serve, cosmoflow-gateway, cosmoflow-shardd, and
+// cosmoflow-train all call this.
+func DebugMux(reg *MetricsRegistry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if reg != nil {
+		mux.Handle("/metrics", reg.Handler())
+	}
+	return mux
+}
+
+// StartDebugListener serves DebugMux on its own listener in a background
+// goroutine, so profiling and debug scrapes never share a port (or a mux)
+// with a daemon's serving API. Off by default in every daemon; see
+// DESIGN.md "Observability".
+func StartDebugListener(addr string, reg *MetricsRegistry) {
+	mux := DebugMux(reg)
+	go func() {
+		log.Printf("pprof debug listener on %s", addr)
+		if err := http.ListenAndServe(addr, mux); err != nil {
+			log.Printf("debug listener: %v", err)
+		}
+	}()
+}

@@ -1,0 +1,134 @@
+package obsv
+
+// history.go grows the benchmark trajectory from a single committed
+// baseline into a per-commit history: every collected BENCH_<area>.json
+// can be archived under <dir>/<area>/<git_sha>.json, and the archive
+// renders as a metric-over-commits trend table — so a regression is not
+// just "worse than the one baseline" but visible as a trajectory
+// (cosmoflow-benchdiff -archive / -trend).
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ArchiveReport writes r to dir/<area>/<sha>.json (creating directories as
+// needed) and returns the path. Re-archiving the same SHA overwrites — a
+// re-run of the collection supersedes the earlier numbers for that commit.
+func ArchiveReport(dir string, r *Report) (string, error) {
+	if r.Area == "" {
+		return "", fmt.Errorf("obsv: cannot archive a report with no area")
+	}
+	sha := r.GitSHA
+	if sha == "" {
+		sha = "unknown"
+	}
+	path := filepath.Join(dir, r.Area, sha+".json")
+	if err := r.WriteFile(path); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// HistoryAreas lists the area subdirectories of a history root, sorted.
+func HistoryAreas(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var areas []string
+	for _, e := range entries {
+		if e.IsDir() {
+			areas = append(areas, e.Name())
+		}
+	}
+	sort.Strings(areas)
+	return areas, nil
+}
+
+// LoadHistory reads every archived report for one area, ordered by
+// timestamp (ties broken by SHA so the order is deterministic).
+func LoadHistory(dir, area string) ([]*Report, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, area, "*.json"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("obsv: no archived reports under %s", filepath.Join(dir, area))
+	}
+	sort.Strings(paths)
+	reports := make([]*Report, 0, len(paths))
+	for _, p := range paths {
+		r, err := ReadReport(p)
+		if err != nil {
+			return nil, err
+		}
+		reports = append(reports, r)
+	}
+	sort.SliceStable(reports, func(i, j int) bool {
+		if reports[i].Timestamp != reports[j].Timestamp {
+			return reports[i].Timestamp < reports[j].Timestamp
+		}
+		return reports[i].GitSHA < reports[j].GitSHA
+	})
+	return reports, nil
+}
+
+// TrendTable renders one area's history as metric-over-commits tables:
+// for each metric (or just the named one), a chronological row per commit
+// with the value, its unit, and the percent change against the previous
+// commit that carried the metric.
+func TrendTable(reports []*Report, metric string) string {
+	if len(reports) == 0 {
+		return ""
+	}
+	names := map[string]Metric{}
+	for _, r := range reports {
+		for n, m := range r.Metrics {
+			if metric == "" || n == metric {
+				names[n] = m
+			}
+		}
+	}
+	ordered := make([]string, 0, len(names))
+	for n := range names {
+		ordered = append(ordered, n)
+	}
+	sort.Strings(ordered)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %d commit(s)\n", reports[0].Area, len(reports))
+	for _, n := range ordered {
+		m := names[n]
+		unit := m.Unit
+		if unit == "" {
+			unit = "-"
+		}
+		fmt.Fprintf(&b, "\n%s (%s, %s better):\n", n, unit, betterOrDefault(m.Better))
+		prev, hasPrev := 0.0, false
+		for _, r := range reports {
+			cur, ok := r.Metrics[n]
+			if !ok {
+				fmt.Fprintf(&b, "  %-10s %-20s %12s\n", short(r.GitSHA), r.Timestamp, "(absent)")
+				continue
+			}
+			delta := "      --"
+			if hasPrev && prev != 0 {
+				delta = fmt.Sprintf("%+7.1f%%", (cur.Value-prev)/prev*100)
+			}
+			fmt.Fprintf(&b, "  %-10s %-20s %12.3f %s\n", short(r.GitSHA), r.Timestamp, cur.Value, delta)
+			prev, hasPrev = cur.Value, true
+		}
+	}
+	return b.String()
+}
+
+func betterOrDefault(better string) string {
+	if better == BetterHigher {
+		return BetterHigher
+	}
+	return BetterLower
+}

@@ -1,0 +1,186 @@
+package obsv
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func historyReport(area, sha, ts string, qps float64) *Report {
+	r := NewReport(area)
+	r.GitSHA = sha
+	r.Timestamp = ts
+	r.SetHigher("qps", qps, "req/s")
+	return r
+}
+
+func TestArchiveAndLoadHistory(t *testing.T) {
+	dir := t.TempDir()
+	// Archived out of chronological order on purpose — LoadHistory must
+	// order by timestamp, not by filename.
+	for _, r := range []*Report{
+		historyReport("serve", "bbbb", "2026-08-02T00:00:00Z", 120),
+		historyReport("serve", "aaaa", "2026-08-01T00:00:00Z", 100),
+		historyReport("serve", "cccc", "2026-08-03T00:00:00Z", 90),
+	} {
+		p, err := ArchiveReport(dir, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := filepath.Join(dir, "serve", r.GitSHA+".json")
+		if p != want {
+			t.Errorf("archive path = %s, want %s", p, want)
+		}
+	}
+
+	// Re-archiving the same SHA overwrites rather than duplicating.
+	if _, err := ArchiveReport(dir, historyReport("serve", "cccc", "2026-08-03T00:00:00Z", 95)); err != nil {
+		t.Fatal(err)
+	}
+
+	areas, err := HistoryAreas(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(areas) != 1 || areas[0] != "serve" {
+		t.Fatalf("areas = %v, want [serve]", areas)
+	}
+
+	hist, err := LoadHistory(dir, "serve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist) != 3 {
+		t.Fatalf("len(history) = %d, want 3", len(hist))
+	}
+	for i, want := range []string{"aaaa", "bbbb", "cccc"} {
+		if hist[i].GitSHA != want {
+			t.Errorf("history[%d].GitSHA = %s, want %s", i, hist[i].GitSHA, want)
+		}
+	}
+	if hist[2].Metrics["qps"].Value != 95 {
+		t.Errorf("re-archived value = %v, want 95", hist[2].Metrics["qps"].Value)
+	}
+}
+
+func TestArchiveReportRequiresArea(t *testing.T) {
+	r := NewReport("")
+	if _, err := ArchiveReport(t.TempDir(), r); err == nil {
+		t.Fatal("expected error archiving a report with no area")
+	}
+}
+
+func TestTrendTable(t *testing.T) {
+	a := historyReport("serve", "aaaa", "2026-08-01T00:00:00Z", 100)
+	b := historyReport("serve", "bbbb", "2026-08-02T00:00:00Z", 150)
+	b.SetLower("p99_ms", 12, "ms")
+	c := historyReport("serve", "cccc", "2026-08-03T00:00:00Z", 120)
+	c.SetLower("p99_ms", 9, "ms")
+
+	table := TrendTable([]*Report{a, b, c}, "")
+	for _, want := range []string{
+		"serve: 3 commit(s)",
+		"qps (req/s, higher better):",
+		"p99_ms (ms, lower better):",
+		"(absent)", // p99_ms missing from the first commit
+		"+50.0%",   // qps 100 -> 150
+		"-20.0%",   // qps 150 -> 120
+		"-25.0%",   // p99 12 -> 9
+	} {
+		if !strings.Contains(table, want) {
+			t.Errorf("trend table missing %q:\n%s", want, table)
+		}
+	}
+
+	only := TrendTable([]*Report{a, b, c}, "p99_ms")
+	if strings.Contains(only, "qps") {
+		t.Errorf("metric filter leaked other metrics:\n%s", only)
+	}
+	if !strings.Contains(only, "p99_ms") {
+		t.Errorf("metric filter dropped the requested metric:\n%s", only)
+	}
+}
+
+func TestReadReportToleratesAbsentConfig(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	raw := `{"schema":"` + SchemaVersion + `","area":"x","git_sha":"dddd",` +
+		`"timestamp":"2026-08-01T00:00:00Z","goos":"linux","goarch":"amd64","cpus":4,` +
+		`"metrics":{"qps":{"value":10,"unit":"req/s","better":"higher"}}}`
+	if err := os.WriteFile(path, []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := ReadReport(path)
+	if err != nil {
+		t.Fatalf("report without config block must load: %v", err)
+	}
+	if r.Config == nil {
+		t.Fatal("ReadReport left Config nil")
+	}
+	r.Config["dim"] = "16" // must not panic on assignment
+}
+
+func TestReadReportRejectsMissingMetrics(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	raw := `{"schema":"` + SchemaVersion + `","area":"x"}`
+	if err := os.WriteFile(path, []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(path); err == nil {
+		t.Fatal("expected error for a report with no metrics block")
+	}
+}
+
+func TestCompareReportsUnits(t *testing.T) {
+	base := NewReport("serve")
+	base.Metrics["qps"] = Metric{Value: 100, Better: BetterHigher} // no unit in baseline
+	base.SetLower("gone_ms", 5, "ms")
+	cur := NewReport("serve")
+	cur.SetHigher("qps", 110, "req/s")
+
+	deltas := Compare(base, cur, 5)
+	for _, d := range deltas {
+		switch d.Name {
+		case "qps":
+			if d.Unit != "req/s" {
+				t.Errorf("qps unit = %q, want fallback to current report's %q", d.Unit, "req/s")
+			}
+		case "gone_ms":
+			if !d.Missing || d.Unit != "ms" {
+				t.Errorf("gone_ms = %+v, want Missing with unit ms", d)
+			}
+		}
+	}
+}
+
+func TestCompareDirsShowsUnitOnMissingRow(t *testing.T) {
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	base := NewReport("serve")
+	base.SetLower("gone_ms", 5, "ms")
+	base.SetHigher("qps", 100, "req/s")
+	if err := base.WriteFile(filepath.Join(baseDir, "BENCH_serve.json")); err != nil {
+		t.Fatal(err)
+	}
+	cur := NewReport("serve")
+	cur.SetHigher("qps", 100, "req/s")
+	if err := cur.WriteFile(filepath.Join(curDir, "BENCH_serve.json")); err != nil {
+		t.Fatal(err)
+	}
+
+	table, regressed, err := CompareDirs(baseDir, curDir, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Error("dropped metric must regress")
+	}
+	var missingLine string
+	for _, line := range strings.Split(table, "\n") {
+		if strings.Contains(line, "MISSING") {
+			missingLine = line
+		}
+	}
+	if missingLine == "" || !strings.Contains(missingLine, "ms") {
+		t.Errorf("MISSING row must carry the metric's unit:\n%s", table)
+	}
+}

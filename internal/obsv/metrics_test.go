@@ -1,0 +1,201 @@
+package obsv
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMetricsRegistryRenderAndParse(t *testing.T) {
+	r := NewMetricsRegistry()
+	c := r.Counter("test_requests_total", "requests handled", L("daemon", "serve"))
+	c.Add(3)
+	c.Inc()
+	g := r.Gauge("test_queue_depth", "waiting requests")
+	g.Set(7)
+	g.Add(-2)
+	h := r.Histogram("test_latency_seconds", "request latency", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5) // overflow bucket
+	r.GaugeFunc("test_models", "per-model readiness", func() []Sample {
+		return []Sample{
+			{Labels: []Label{L("model", "a")}, Value: 1},
+			{Labels: []Label{L("model", `quo"te\back`)}, Value: 0},
+		}
+	})
+
+	var b strings.Builder
+	if err := r.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	fams, err := ParseExposition(strings.NewReader(out))
+	if err != nil {
+		t.Fatalf("ParseExposition: %v\n%s", err, out)
+	}
+
+	if v, ok := fams["test_requests_total"].Value("test_requests_total", map[string]string{"daemon": "serve"}); !ok || v != 4 {
+		t.Errorf("counter = %v, %v; want 4, true", v, ok)
+	}
+	if v, ok := fams["test_queue_depth"].Value("test_queue_depth", nil); !ok || v != 5 {
+		t.Errorf("gauge = %v, %v; want 5, true", v, ok)
+	}
+	hf := fams["test_latency_seconds"]
+	if hf == nil || hf.Type != TypeHistogram {
+		t.Fatalf("histogram family missing or mistyped: %+v", hf)
+	}
+	if v, ok := hf.Value("test_latency_seconds_count", nil); !ok || v != 4 {
+		t.Errorf("histogram count = %v, %v; want 4", v, ok)
+	}
+	if v, ok := hf.Value("test_latency_seconds_bucket", map[string]string{"le": "0.1"}); !ok || v != 2 {
+		t.Errorf("le=0.1 cumulative = %v, %v; want 2", v, ok)
+	}
+	if v, ok := hf.Value("test_latency_seconds_bucket", map[string]string{"le": "+Inf"}); !ok || v != 4 {
+		t.Errorf("le=+Inf cumulative = %v, %v; want 4", v, ok)
+	}
+	if v, ok := hf.Value("test_latency_seconds_sum", nil); !ok || math.Abs(v-5.555) > 1e-9 {
+		t.Errorf("histogram sum = %v, %v; want 5.555", v, ok)
+	}
+	// Escaped label values round-trip through render + parse.
+	if v, ok := fams["test_models"].Value("test_models", map[string]string{"model": `quo"te\back`}); !ok || v != 0 {
+		t.Errorf("escaped label sample = %v, %v; want 0, true", v, ok)
+	}
+}
+
+func TestMetricsHandler(t *testing.T) {
+	r := NewMetricsRegistry()
+	r.Counter("test_total", "t").Inc()
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != ContentTypeExposition {
+		t.Errorf("Content-Type = %q, want %q", ct, ContentTypeExposition)
+	}
+	if _, err := ParseExposition(resp.Body); err != nil {
+		t.Fatalf("handler output does not parse: %v", err)
+	}
+
+	post, err := srv.Client().Post(srv.URL+"/", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != 405 {
+		t.Errorf("POST status = %d, want 405", post.StatusCode)
+	}
+}
+
+func TestCounterIgnoresNegative(t *testing.T) {
+	r := NewMetricsRegistry()
+	c := r.Counter("test_total", "t")
+	c.Add(2)
+	c.Add(-5)
+	if c.Value() != 2 {
+		t.Errorf("counter = %v after negative add, want 2", c.Value())
+	}
+}
+
+func TestRegistryPanicsOnConflicts(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	r := NewMetricsRegistry()
+	r.Counter("test_total", "t")
+	mustPanic("type conflict", func() { r.Gauge("test_total", "t") })
+	mustPanic("bad metric name", func() { r.Counter("0bad", "t") })
+	mustPanic("bad label name", func() { r.Counter("test_ok_total", "t", L("0bad", "v")) })
+	mustPanic("non-increasing buckets", func() { r.Histogram("test_h", "t", []float64{1, 1}) })
+}
+
+func TestRegisterRecorder(t *testing.T) {
+	rec := NewRecorder()
+	rec.Span("read").Observe(200 * time.Millisecond)
+	rec.Span("read").Observe(300 * time.Millisecond)
+	rec.Span("decode").Observe(50 * time.Millisecond)
+
+	r := NewMetricsRegistry()
+	RegisterRecorder(r, "test_stage", "loader stages", rec)
+
+	var b strings.Builder
+	if err := r.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	fams, err := ParseExposition(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := fams["test_stage_seconds_total"].Value("test_stage_seconds_total", map[string]string{"span": "read"}); !ok || math.Abs(v-0.5) > 1e-9 {
+		t.Errorf("read seconds = %v, %v; want 0.5", v, ok)
+	}
+	if v, ok := fams["test_stage_ops_total"].Value("test_stage_ops_total", map[string]string{"span": "read"}); !ok || v != 2 {
+		t.Errorf("read ops = %v, %v; want 2", v, ok)
+	}
+	if v, ok := fams["test_stage_ops_total"].Value("test_stage_ops_total", map[string]string{"span": "decode"}); !ok || v != 1 {
+		t.Errorf("decode ops = %v, %v; want 1", v, ok)
+	}
+}
+
+func TestParseExpositionRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"decreasing buckets": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"missing +Inf":       "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n",
+		"inf != count":       "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 7\n",
+		"bad value":          "# TYPE c counter\nc abc\n",
+		"untyped sample":     "nonexistent_metric 4\n",
+		"duplicate TYPE":     "# TYPE c counter\n# TYPE c gauge\nc 1\n",
+	}
+	for name, in := range cases {
+		if _, err := ParseExposition(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected parse error", name)
+		}
+	}
+}
+
+func TestBuildRoofline(t *testing.T) {
+	layers := []SpanStat{
+		{Name: "conv1", Count: 10, TotalMs: 100, AvgMs: 10},
+		{Name: "flatten", Count: 10, TotalMs: 1, AvgMs: 0.1},
+		{Name: "dense1", Count: 10, TotalMs: 10, AvgMs: 1},
+	}
+	flops := []int64{2_000_000, 0, 50_000}
+	rl := BuildRoofline(layers, flops, 40) // 4 samples per observation
+
+	// conv1: 2e6 FLOPs × 40 samples / 0.1 s = 0.8 GF/s
+	if math.Abs(rl[0].GFLOPS-0.8) > 1e-9 {
+		t.Errorf("conv1 GFLOPS = %v, want 0.8", rl[0].GFLOPS)
+	}
+	if rl[0].PctOfBest != 100 {
+		t.Errorf("conv1 pct_of_best = %v, want 100 (best layer)", rl[0].PctOfBest)
+	}
+	// flatten: zero FLOPs → zero rate, excluded from best.
+	if rl[1].GFLOPS != 0 || rl[1].PctOfBest != 0 {
+		t.Errorf("flatten = %+v, want zero GFLOPS and pct", rl[1])
+	}
+	// dense1: 5e4 × 40 / 0.01 s = 0.2 GF/s = 25%% of best.
+	if math.Abs(rl[2].GFLOPS-0.2) > 1e-9 || math.Abs(rl[2].PctOfBest-25) > 1e-9 {
+		t.Errorf("dense1 = %+v, want 0.2 GF/s at 25%%", rl[2])
+	}
+
+	// No samples → all-zero rates, no division anywhere.
+	for _, lr := range BuildRoofline(layers, flops, 0) {
+		if lr.GFLOPS != 0 || lr.PctOfBest != 0 {
+			t.Errorf("zero-sample roofline has nonzero rate: %+v", lr)
+		}
+	}
+}

@@ -206,6 +206,31 @@ type TraceResponse struct {
 	Models  []ModelTrace `json:"models"`
 }
 
+// LayerRoofline is one layer's FLOPs-versus-time attribution in the
+// GET /v1/roofline response: the analytic forward FLOP count joined with
+// the observed span timing into an achieved GFLOP/s, plus its percentage
+// of the best rate observed across layers. Aliased from internal/obsv
+// like SpanStat, so server-side roofline snapshots are wire values.
+type LayerRoofline = obsv.LayerRoofline
+
+// ModelRoofline is one traced model's per-layer roofline attribution.
+// Samples is the batch-item total the span timings cover (micro-batched
+// serving observes one span per dispatch, not per sample).
+type ModelRoofline struct {
+	Model   string          `json:"model"`
+	Samples int64           `json:"samples"`
+	Layers  []LayerRoofline `json:"layers"`
+}
+
+// RooflineResponse is GET /v1/roofline: every traced model's per-layer
+// GFLOP/s attribution since load (or the last counter reset). Models
+// loaded without tracing are absent; Enabled is false when none trace.
+type RooflineResponse struct {
+	UptimeS float64         `json:"uptime_s"`
+	Enabled bool            `json:"enabled"`
+	Models  []ModelRoofline `json:"models"`
+}
+
 // GatewayTraceResponse is GET /v1/trace on cosmoflow-gateway: per-backend
 // upstream-time spans plus the most recent per-request phase breakdowns
 // (newest first), each keyed by its X-Request-Id.

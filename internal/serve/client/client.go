@@ -406,6 +406,16 @@ func (c *Client) Stats(ctx context.Context) (*api.StatsResponse, error) {
 	return &sr, nil
 }
 
+// Roofline returns the per-layer GFLOP/s attribution for every traced
+// model (GET /v1/roofline).
+func (c *Client) Roofline(ctx context.Context) (*api.RooflineResponse, error) {
+	var rr api.RooflineResponse
+	if err := c.getJSON(ctx, "/v1/roofline", &rr); err != nil {
+		return nil, err
+	}
+	return &rr, nil
+}
+
 func (c *Client) getJSON(ctx context.Context, path string, v any) error {
 	return c.doJSON(ctx, http.MethodGet, path, nil, v)
 }

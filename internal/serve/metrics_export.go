@@ -1,0 +1,146 @@
+package serve
+
+// metrics_export.go maps the serving counters the subsystem already keeps
+// (serve.Metrics atomics, registry state, per-layer trace spans) onto an
+// obsv.MetricsRegistry as callback families, so GET /metrics exposes them
+// in the Prometheus text format without touching the hot path: every
+// family reads the existing atomics at scrape time.
+
+import (
+	"strconv"
+	"time"
+
+	"repro/internal/obsv"
+)
+
+// latencyBucketSeconds is latencyBuckets converted from milliseconds to
+// the exposition's base unit (seconds).
+var latencyBucketSeconds = func() []float64 {
+	out := make([]float64, len(latencyBuckets))
+	for i, ms := range latencyBuckets {
+		out[i] = ms / 1e3
+	}
+	return out
+}()
+
+// newMetricsRegistry builds the serve daemon's scrape surface over the
+// model registry. Label sets are produced per scrape, so models loaded or
+// unloaded at runtime appear and disappear without re-registration.
+func newMetricsRegistry(reg *Registry, start time.Time) *obsv.MetricsRegistry {
+	r := obsv.NewMetricsRegistry()
+
+	r.GaugeFunc("cosmoflow_serve_uptime_seconds", "seconds since the server started", func() []obsv.Sample {
+		return []obsv.Sample{{Value: time.Since(start).Seconds()}}
+	})
+
+	perModel := func(read func(m *Metrics) float64) func() []obsv.Sample {
+		return func() []obsv.Sample {
+			infos := reg.Info()
+			out := make([]obsv.Sample, 0, len(infos))
+			for _, info := range infos {
+				if info.Model == nil {
+					continue
+				}
+				out = append(out, obsv.Sample{
+					Labels: []obsv.Label{obsv.L("model", info.Name)},
+					Value:  read(info.Model.metrics),
+				})
+			}
+			return out
+		}
+	}
+
+	r.CounterFunc("cosmoflow_serve_requests_total", "completed predictions",
+		perModel(func(m *Metrics) float64 { return float64(m.requests.Load()) }))
+	r.CounterFunc("cosmoflow_serve_errors_total", "rejected or failed requests",
+		perModel(func(m *Metrics) float64 { return float64(m.errors.Load()) }))
+	r.CounterFunc("cosmoflow_serve_batches_total", "dispatched micro-batches",
+		perModel(func(m *Metrics) float64 { return float64(m.batches.Load()) }))
+	r.CounterFunc("cosmoflow_serve_batch_items_total", "samples across dispatched micro-batches",
+		perModel(func(m *Metrics) float64 { return float64(m.batchItems.Load()) }))
+	r.CounterFunc("cosmoflow_serve_kernel_seconds_total", "batched-forward compute time",
+		perModel(func(m *Metrics) float64 { return float64(m.kernelNS.Load()) / 1e9 }))
+	r.CounterFunc("cosmoflow_serve_queue_wait_seconds_total", "batcher queue wait across requests",
+		perModel(func(m *Metrics) float64 { return float64(m.queueNS.Load()) / 1e9 }))
+	r.GaugeFunc("cosmoflow_serve_queue_depth", "requests waiting in the batcher",
+		perModel(func(m *Metrics) float64 { return float64(m.queueDepth.Load()) }))
+	r.GaugeFunc("cosmoflow_serve_inflight", "requests admitted but not yet answered",
+		perModel(func(m *Metrics) float64 { return float64(m.inflight.Load()) }))
+
+	// The registry's lifecycle view: one sample per configured model, value
+	// 1 when ready. The state travels as a label so a scrape diff shows
+	// load/swap/unload transitions.
+	r.GaugeFunc("cosmoflow_serve_model_ready", "1 when the model is serving (state label carries the lifecycle phase)", func() []obsv.Sample {
+		infos := reg.Info()
+		out := make([]obsv.Sample, 0, len(infos))
+		for _, info := range infos {
+			v := 0.0
+			if info.Model != nil {
+				v = 1
+			}
+			out = append(out, obsv.Sample{
+				Labels: []obsv.Label{obsv.L("model", info.Name), obsv.L("state", string(info.State))},
+				Value:  v,
+			})
+		}
+		return out
+	})
+
+	// The end-to-end latency histogram re-exposed from serve.Metrics'
+	// atomic buckets: same counts, bounds converted to seconds.
+	r.HistogramFunc("cosmoflow_serve_request_latency_seconds", "end-to-end request latency", func() []obsv.HistogramSample {
+		infos := reg.Info()
+		out := make([]obsv.HistogramSample, 0, len(infos))
+		for _, info := range infos {
+			if info.Model == nil {
+				continue
+			}
+			m := info.Model.metrics
+			h := obsv.HistogramSample{
+				Labels:      []obsv.Label{obsv.L("model", info.Name)},
+				UpperBounds: latencyBucketSeconds,
+				Counts:      make([]uint64, len(latencyBuckets)+1),
+				Sum:         float64(m.latencyNS.Load()) / 1e9,
+			}
+			for i := range m.hist {
+				h.Counts[i] = uint64(m.hist[i].Load())
+			}
+			out = append(out, h)
+		}
+		return out
+	})
+
+	// Per-layer forward spans for traced models — the scrape-side view of
+	// GET /v1/trace, one series per (model, layer).
+	layerSamples := func(read func(obsv.SpanStat) float64) func() []obsv.Sample {
+		return func() []obsv.Sample {
+			var out []obsv.Sample
+			for _, info := range reg.Info() {
+				if info.Model == nil {
+					continue
+				}
+				_, layers, ok := info.Model.TraceSnapshot()
+				if !ok {
+					continue
+				}
+				for i, st := range layers {
+					out = append(out, obsv.Sample{
+						Labels: []obsv.Label{
+							obsv.L("model", info.Name),
+							obsv.L("layer", st.Name),
+							obsv.L("index", strconv.Itoa(i)),
+						},
+						Value: read(st),
+					})
+				}
+			}
+			return out
+		}
+	}
+	r.CounterFunc("cosmoflow_serve_layer_seconds_total", "cumulative forward time inside each traced layer",
+		layerSamples(func(st obsv.SpanStat) float64 { return st.TotalMs / 1e3 }))
+	r.CounterFunc("cosmoflow_serve_layer_ops_total", "micro-batch dispatches observed by each traced layer",
+		layerSamples(func(st obsv.SpanStat) float64 { return float64(st.Count) }))
+
+	return r
+}

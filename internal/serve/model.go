@@ -24,6 +24,10 @@ type Model struct {
 	// pool (every replica shares the pointer); nil unless the model was
 	// loaded with ModelConfig.Trace.
 	trace *obsv.ForwardTrace
+	// layerFLOPs is each layer's analytic forward FLOP count for one sample
+	// at the model's input shape, index-aligned with trace's layer spans —
+	// the static half of the roofline attribution.
+	layerFLOPs []int64
 }
 
 // Prediction is the answer to one serving request.
@@ -74,6 +78,11 @@ func newModel(cfg ModelConfig) (*Model, error) {
 		// traffic only.
 		trace.Reset()
 	}
+	perLayer := net.PerLayerFLOPs()
+	layerFLOPs := make([]int64, len(perLayer))
+	for i, lf := range perLayer {
+		layerFLOPs[i] = lf.Fwd
+	}
 	m := &Model{
 		name:       cfg.Name,
 		inputShape: net.InputShape(),
@@ -81,6 +90,7 @@ func newModel(cfg ModelConfig) (*Model, error) {
 		pool:       pool,
 		metrics:    &Metrics{},
 		trace:      trace,
+		layerFLOPs: layerFLOPs,
 	}
 	m.batch = newBatcher(cfg.MaxBatch, cfg.MaxDelay, m.metrics, m.runBatch)
 	return m, nil
@@ -208,6 +218,20 @@ func (m *Model) TraceSnapshot() (fwd obsv.SpanStat, layers []obsv.SpanStat, ok b
 	}
 	fwd, layers = m.trace.Snapshot()
 	return fwd, layers, true
+}
+
+// Roofline joins the per-layer trace spans with the layers' analytic FLOP
+// counts into GFLOP/s attribution (see obsv.BuildRoofline). samples is the
+// batch-item total the spans cover — each span observation times a whole
+// micro-batch, so the rate divides per-sample FLOPs × items served, not
+// span count. ok is false when the model was loaded without tracing.
+func (m *Model) Roofline() (layers []obsv.LayerRoofline, samples int64, ok bool) {
+	if m.trace == nil {
+		return nil, 0, false
+	}
+	_, spans := m.trace.Snapshot()
+	samples = m.metrics.batchItems.Load()
+	return obsv.BuildRoofline(spans, m.layerFLOPs, samples), samples, true
 }
 
 // Close drains the batcher (queued and in-flight requests all complete)

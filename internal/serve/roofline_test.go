@@ -1,0 +1,161 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"testing"
+
+	"repro/internal/obsv"
+	"repro/internal/serve/api"
+	"repro/internal/serve/wire"
+)
+
+// TestV1RooflineRoute drives predictions through a traced model and checks
+// GET /v1/roofline attributes finite, positive GFLOP/s to every FLOP-
+// bearing layer, with pct-of-best peaking at exactly one 100% layer.
+func TestV1RooflineRoute(t *testing.T) {
+	srv, done := tracedTestServer(t, 91)
+	defer done()
+
+	body := tensorBody(t, testDim, testSamples(1, 7)[0].Voxels)
+	const n = 8
+	for i := 0; i < n; i++ {
+		resp := do(t, newReq(t, http.MethodPost,
+			srv.URL+"/v1/models/"+DefaultModel+":predict", body,
+			map[string]string{"Content-Type": wire.ContentTypeTensor}))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict %d = %d, want 200", i, resp.StatusCode)
+		}
+	}
+
+	resp := do(t, newReq(t, http.MethodGet, srv.URL+"/v1/roofline", nil, nil))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/roofline = %d, want 200", resp.StatusCode)
+	}
+	var rr api.RooflineResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	if !rr.Enabled || len(rr.Models) != 1 {
+		t.Fatalf("roofline = %+v, want Enabled with one model", rr)
+	}
+	m := rr.Models[0]
+	if m.Model != DefaultModel {
+		t.Errorf("model = %q, want %q", m.Model, DefaultModel)
+	}
+	if m.Samples != n {
+		t.Errorf("samples = %d, want %d", m.Samples, n)
+	}
+	if len(m.Layers) == 0 {
+		t.Fatal("no layers in roofline")
+	}
+	best := 0
+	for i, lr := range m.Layers {
+		if lr.FLOPsPerSample == 0 {
+			if lr.GFLOPS != 0 {
+				t.Errorf("layer %s: zero-FLOP layer reports %v GF/s", lr.Layer, lr.GFLOPS)
+			}
+			continue
+		}
+		// The acceptance criterion: finite, positive GFLOP/s end to end.
+		if !(lr.GFLOPS > 0) || math.IsInf(lr.GFLOPS, 0) || math.IsNaN(lr.GFLOPS) {
+			t.Errorf("layer %s: GFLOPS = %v, want finite and positive", lr.Layer, lr.GFLOPS)
+		}
+		if lr.PctOfBest <= 0 || lr.PctOfBest > 100 {
+			t.Errorf("layer %s: pct_of_best = %v, want (0, 100]", lr.Layer, lr.PctOfBest)
+		}
+		if lr.Observations < 1 {
+			t.Errorf("layer %s: observations = %d, want >= 1", lr.Layer, lr.Observations)
+		}
+		if lr.PctOfBest > m.Layers[best].PctOfBest {
+			best = i
+		}
+	}
+	if got := m.Layers[best].PctOfBest; math.Abs(got-100) > 1e-9 {
+		t.Errorf("best layer pct_of_best = %v, want 100", got)
+	}
+}
+
+// TestRooflineDisabledWithoutTrace checks an untraced model yields an
+// Enabled=false response rather than an error.
+func TestRooflineDisabledWithoutTrace(t *testing.T) {
+	_, srv, done := v1TestServer(t, 17)
+	defer done()
+	resp := do(t, newReq(t, http.MethodGet, srv.URL+"/v1/roofline", nil, nil))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/roofline = %d, want 200", resp.StatusCode)
+	}
+	var rr api.RooflineResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Enabled || len(rr.Models) != 0 {
+		t.Errorf("roofline = %+v, want disabled and empty for untraced models", rr)
+	}
+}
+
+// TestServeMetricsEndpoint checks GET /metrics renders a parseable
+// exposition whose counters move with traffic and agree with /stats.
+func TestServeMetricsEndpoint(t *testing.T) {
+	srv, done := tracedTestServer(t, 101)
+	defer done()
+
+	scrape := func() map[string]*obsv.ParsedFamily {
+		t.Helper()
+		resp := do(t, newReq(t, http.MethodGet, srv.URL+"/metrics", nil, nil))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /metrics = %d, want 200", resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != obsv.ContentTypeExposition {
+			t.Errorf("Content-Type = %q, want %q", ct, obsv.ContentTypeExposition)
+		}
+		fams, err := obsv.ParseExposition(resp.Body)
+		if err != nil {
+			t.Fatalf("exposition does not parse: %v", err)
+		}
+		return fams
+	}
+
+	before := scrape()
+	want := map[string]string{"model": DefaultModel}
+	if v, ok := before["cosmoflow_serve_requests_total"].Value("cosmoflow_serve_requests_total", want); !ok || v != 0 {
+		t.Errorf("initial requests_total = %v, %v; want 0, true", v, ok)
+	}
+	if _, ok := before["cosmoflow_serve_model_ready"].Value("cosmoflow_serve_model_ready", map[string]string{"model": DefaultModel, "state": "ready"}); !ok {
+		t.Error("model_ready{state=ready} sample missing")
+	}
+
+	body := tensorBody(t, testDim, testSamples(1, 11)[0].Voxels)
+	const n = 5
+	for i := 0; i < n; i++ {
+		resp := do(t, newReq(t, http.MethodPost,
+			srv.URL+"/v1/models/"+DefaultModel+":predict", body,
+			map[string]string{"Content-Type": wire.ContentTypeTensor}))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("predict %d = %d, want 200", i, resp.StatusCode)
+		}
+	}
+
+	after := scrape()
+	if v, ok := after["cosmoflow_serve_requests_total"].Value("cosmoflow_serve_requests_total", want); !ok || v != n {
+		t.Errorf("requests_total after traffic = %v, %v; want %d", v, ok, n)
+	}
+	if v, ok := after["cosmoflow_serve_batch_items_total"].Value("cosmoflow_serve_batch_items_total", want); !ok || v != n {
+		t.Errorf("batch_items_total = %v, %v; want %d", v, ok, n)
+	}
+	hist := after["cosmoflow_serve_request_latency_seconds"]
+	if hist == nil || hist.Type != obsv.TypeHistogram {
+		t.Fatal("latency histogram family missing")
+	}
+	if v, ok := hist.Value("cosmoflow_serve_request_latency_seconds_count", want); !ok || v != n {
+		t.Errorf("latency histogram count = %v, %v; want %d", v, ok, n)
+	}
+	if v, ok := hist.Value("cosmoflow_serve_request_latency_seconds_sum", want); !ok || v <= 0 {
+		t.Errorf("latency histogram sum = %v, %v; want > 0", v, ok)
+	}
+	// Per-layer span counters exist for the traced model and moved.
+	if v := after["cosmoflow_serve_layer_ops_total"].Sum(); v <= 0 {
+		t.Errorf("layer_ops_total sum = %v, want > 0 after traffic", v)
+	}
+}

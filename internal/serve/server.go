@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/cosmo"
 	"repro/internal/nn"
+	"repro/internal/obsv"
 	"repro/internal/serve/api"
 	"repro/internal/serve/wire"
 )
@@ -48,21 +49,25 @@ const maxBodyBytes = 256 << 20
 
 // Server exposes a Registry over HTTP.
 type Server struct {
-	reg   *Registry
-	http  *http.Server
-	start time.Time
+	reg     *Registry
+	http    *http.Server
+	start   time.Time
+	metrics *obsv.MetricsRegistry
 }
 
 // NewServer wraps reg in an HTTP server bound to addr.
 func NewServer(reg *Registry, addr string) *Server {
 	s := &Server{reg: reg, start: time.Now()}
+	s.metrics = newMetricsRegistry(reg, s.start)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/models", s.handleModels)
 	mux.HandleFunc("/v1/models/", s.handleModelItem)
 	mux.HandleFunc("/predict", s.handleLegacyPredict)
 	mux.HandleFunc("/v1/trace", s.handleTrace)
+	mux.HandleFunc("/v1/roofline", s.handleRoofline)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.Handle("/metrics", s.metrics.Handler())
 	s.http = &http.Server{
 		Addr:    addr,
 		Handler: mux,
@@ -579,6 +584,39 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
+
+// handleRoofline answers GET /v1/roofline: every traced model's per-layer
+// GFLOP/s attribution — the analytic FLOP counts joined with the trace
+// spans (obsv.BuildRoofline). Models loaded without ModelConfig.Trace are
+// absent; Enabled is false when none trace.
+func (s *Server) handleRoofline(w http.ResponseWriter, r *http.Request) {
+	rid := requestID(w, r)
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, rid, http.MethodGet)
+		return
+	}
+	resp := api.RooflineResponse{UptimeS: time.Since(s.start).Seconds()}
+	for _, info := range s.reg.Info() {
+		if info.Model == nil {
+			continue
+		}
+		layers, samples, ok := info.Model.Roofline()
+		if !ok {
+			continue
+		}
+		resp.Enabled = true
+		resp.Models = append(resp.Models, api.ModelRoofline{
+			Model:   info.Name,
+			Samples: samples,
+			Layers:  layers,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// MetricsRegistry returns the server's scrape registry, so a daemon can
+// mount the same families on its -debug-addr listener.
+func (s *Server) MetricsRegistry() *obsv.MetricsRegistry { return s.metrics }
 
 // modelStatus converts a registry snapshot into the v1 DTO.
 func modelStatus(info ModelInfo) api.ModelStatus {

@@ -1,6 +1,6 @@
 #!/bin/sh
 # Collects the machine-readable benchmark trajectory: one BENCH_<area>.json
-# per area (kernel, dist, data, serve, gateway) under $BENCH_OUT, stamped
+# per area (kernel, dist, data, serve, gateway, roofline) under $BENCH_OUT, stamped
 # with the git SHA and the cosmoflow-bench/v1 schema. Invoked by
 # `make bench-json`; `make bench-compare` (cosmoflow-benchdiff) then gates
 # the result against the committed bench/baseline/. Sizes are deliberately
@@ -33,6 +33,10 @@ wait_ready() {
 echo "== kernel (Table-I conv sweep, ${BENCH_DIM}^3) =="
 "$BENCH_BIN" -area kernel -dim "$BENCH_DIM" -base 4 -iters "$BENCH_ITERS" \
     -json "$BENCH_OUT/BENCH_kernel.json"
+
+echo "== roofline (per-layer GFLOP/s attribution, ${BENCH_DIM}^3) =="
+"$BENCH_BIN" -area roofline -dim "$BENCH_DIM" -base 4 -iters "$BENCH_ITERS" \
+    -json "$BENCH_OUT/BENCH_roofline.json"
 
 echo "== dist (comm collectives, in-process worlds) =="
 "$BENCH_BIN" -area dist -iters "$BENCH_ITERS" -json "$BENCH_OUT/BENCH_dist.json"

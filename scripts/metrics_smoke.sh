@@ -1,0 +1,90 @@
+#!/bin/sh
+# metrics-smoke: scrape-surface check for the whole fleet (the ISSUE 9
+# acceptance run). Brings up all three daemons — cosmoflow-serve,
+# cosmoflow-gateway (fronting the serve backend), and cosmoflow-shardd
+# over a freshly generated dataset — validates that every GET /metrics
+# body parses as Prometheus text exposition (cosmoflow-metrics uses the
+# same obsv.ParseExposition as the unit tests, not a grep), then drives
+# traffic through each and asserts the known counters moved.
+# Expects binaries under /tmp; `make metrics-smoke` builds them there.
+set -eu
+
+SERVE_BIN=${SERVE_BIN:-/tmp/cosmoflow-serve}
+GATEWAY_BIN=${GATEWAY_BIN:-/tmp/cosmoflow-gateway}
+SHARDD_BIN=${SHARDD_BIN:-/tmp/cosmoflow-shardd}
+DATAGEN_BIN=${DATAGEN_BIN:-/tmp/cosmoflow-datagen}
+LOADGEN_BIN=${LOADGEN_BIN:-/tmp/cosmoflow-loadgen}
+METRICS_BIN=${METRICS_BIN:-/tmp/cosmoflow-metrics}
+
+SERVE=http://127.0.0.1:19301
+GW_ADDR=127.0.0.1:19300
+GW=http://$GW_ADDR
+SHARDD=http://127.0.0.1:19302
+
+N=32
+
+DIR=$(mktemp -d /tmp/metrics-smoke-XXXXXX)
+cleanup() {
+    kill -TERM ${SERVE_PID:-} ${GW_PID:-} ${SHARDD_PID:-} 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+wait_ready() {
+    url=$1
+    for _ in $(seq 1 150); do
+        if curl -sf "$url/healthz" >/dev/null 2>&1; then return 0; fi
+        sleep 0.2
+    done
+    echo "metrics-smoke: FAIL: $url never became ready" >&2
+    return 1
+}
+
+echo "== starting the fleet"
+"$DATAGEN_BIN" -out "$DIR/data" -sims 2 -val 1 -test 0 -ngrid 32 -per-file 4 -seed 5
+"$SERVE_BIN" -addr 127.0.0.1:19301 -dim 16 -base 4 -replicas 2 -trace & SERVE_PID=$!
+"$SHARDD_BIN" -data "$DIR/data" -addr 127.0.0.1:19302 & SHARDD_PID=$!
+wait_ready "$SERVE"
+"$GATEWAY_BIN" -addr "$GW_ADDR" -backends "$SERVE" -probe-interval 200ms & GW_PID=$!
+wait_ready "$GW"
+wait_ready "$SHARDD"
+
+echo "== exposition format parses on every daemon (pre-traffic)"
+"$METRICS_BIN" -url "$SERVE/metrics" \
+    -expect cosmoflow_serve_requests_total \
+    -expect cosmoflow_serve_request_latency_seconds \
+    -expect cosmoflow_serve_model_ready
+"$METRICS_BIN" -url "$GW/metrics" \
+    -expect cosmoflow_gateway_requests_total \
+    -expect cosmoflow_gateway_backend_up \
+    -expect cosmoflow_gateway_admission_capacity
+"$METRICS_BIN" -url "$SHARDD/metrics" \
+    -expect cosmoflow_shardd_requests_total \
+    -expect cosmoflow_shardd_manifest_ok
+
+echo "== driving traffic ($N predicts via the gateway, manifest + shard via shardd)"
+"$LOADGEN_BIN" -addr "$GW" -n "$N" -c 4 -dim 16 -wire binary >/dev/null
+shard=$(curl -s "$SHARDD/manifest.json" | tr ',{' '\n\n' | sed -n 's/.*"file": *"\([^"]*\)".*/\1/p' | head -1)
+if [ -z "$shard" ]; then
+    echo "metrics-smoke: FAIL: no shard listed in the manifest" >&2
+    exit 1
+fi
+curl -sf "$SHARDD/shards/$shard" >/dev/null
+
+echo "== counters moved"
+"$METRICS_BIN" -url "$SERVE/metrics" \
+    -min cosmoflow_serve_requests_total="$N" \
+    -min cosmoflow_serve_batch_items_total="$N" \
+    -min cosmoflow_serve_layer_ops_total=1
+"$METRICS_BIN" -url "$GW/metrics" \
+    -min cosmoflow_gateway_requests_total="$N" \
+    -min cosmoflow_gateway_admitted_total="$N" \
+    -min cosmoflow_gateway_backend_requests_total="$N" \
+    -min cosmoflow_gateway_backend_up=1
+"$METRICS_BIN" -url "$SHARDD/metrics" \
+    -min cosmoflow_shardd_shards_served_total=1 \
+    -min cosmoflow_shardd_requests_total=2 \
+    -min cosmoflow_shardd_manifest_ok=1
+
+echo "metrics-smoke: PASS"
