@@ -5,11 +5,11 @@
 
 GO ?= go
 
-.PHONY: check ci fmt vet build test race bench bench-smoke serve-smoke api-smoke dist-smoke data-smoke fuzz-smoke gateway-smoke tenancy-smoke metrics-smoke bench-json bench-compare bench-archive bench-trend
+.PHONY: check ci fmt vet build test race bench bench-smoke serve-smoke api-smoke dist-smoke data-smoke fuzz-smoke gateway-smoke tenancy-smoke metrics-smoke timeline-smoke bench-json bench-compare bench-archive bench-trend
 
 check: fmt vet build test
 
-ci: fmt vet build test race fuzz-smoke bench-smoke serve-smoke api-smoke dist-smoke data-smoke gateway-smoke tenancy-smoke metrics-smoke bench-json bench-compare
+ci: fmt vet build test race fuzz-smoke bench-smoke serve-smoke api-smoke dist-smoke data-smoke gateway-smoke tenancy-smoke metrics-smoke timeline-smoke bench-json bench-compare
 
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -99,8 +99,17 @@ metrics-smoke:
 	$(GO) build -o /tmp/cosmoflow-metrics ./cmd/cosmoflow-metrics
 	sh scripts/metrics_smoke.sh
 
+# Training-timeline smoke: a traced 4-process world with an injected 10ms
+# straggler must train bit-identically to the untraced baseline, its trace
+# must validate as Chrome trace-event JSON, and the straggler report must
+# name the slowed rank (scripts/timeline_smoke.sh).
+timeline-smoke:
+	$(GO) build -o /tmp/cosmoflow-train ./cmd/cosmoflow-train
+	$(GO) build -o /tmp/cosmoflow-tracecat ./cmd/cosmoflow-tracecat
+	sh scripts/timeline_smoke.sh
+
 # Benchmark trajectory: collect one BENCH_<area>.json per area (kernel,
-# dist, data, serve, gateway, roofline) under bench/out with the
+# dist, data, serve, gateway, roofline, train) under bench/out with the
 # cosmoflow-bench/v1 schema (scripts/bench_collect.sh), then gate against
 # the committed bench/baseline. BENCH_THRESHOLD is the regression
 # tolerance in percent — 5 locally; CI uses a higher value because the

@@ -14,9 +14,11 @@
 // -area selects what is measured: "kernel" (default) is the Table-I
 // per-layer sweep, "dist" times the comm collectives over in-process
 // worlds through the obsv recorder, "data" streams the sharded loader,
-// and "roofline" joins every layer's analytic FLOP count with traced
+// "roofline" joins every layer's analytic FLOP count with traced
 // forward wall time into per-layer GFLOP/s attribution (the paper's §V-A
-// Gflop/s accounting, every layer not just convs).
+// Gflop/s accounting, every layer not just convs), and "train" runs a
+// small traced 4-rank training job and reports the straggler analysis's
+// gated metrics (samples/s, step time, per-phase means).
 package main
 
 import (
@@ -38,6 +40,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/tensor"
 	"repro/internal/tfrecord"
+	"repro/internal/train"
 )
 
 func main() {
@@ -48,7 +51,7 @@ func main() {
 	base := flag.Int("base", 16, "base channel count (16 = paper)")
 	iters := flag.Int("iters", 3, "timing iterations per operator")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "compute threads")
-	area := flag.String("area", "kernel", "benchmark area: kernel (Table-I conv sweep), dist (comm collectives), data (loader streaming), or roofline (per-layer GFLOP/s attribution)")
+	area := flag.String("area", "kernel", "benchmark area: kernel (Table-I conv sweep), dist (comm collectives), data (loader streaming), roofline (per-layer GFLOP/s attribution), or train (traced 4-rank step-phase timings)")
 	jsonPath := flag.String("json", "", "also write an obsv benchmark report to this path (empty: stdout only)")
 	flag.Parse()
 
@@ -62,8 +65,10 @@ func main() {
 		rep = benchData(*iters, *workers)
 	case "roofline":
 		rep = benchRoofline(*dim, *base, *iters, *workers)
+	case "train":
+		rep = benchTrain(*iters)
 	default:
-		log.Fatalf("unknown -area %q (want kernel, dist, data, or roofline)", *area)
+		log.Fatalf("unknown -area %q (want kernel, dist, data, roofline, or train)", *area)
 	}
 	if *jsonPath != "" {
 		if err := rep.WriteFile(*jsonPath); err != nil {
@@ -232,6 +237,57 @@ func benchRoofline(dim, base, iters, workers int) *obsv.Report {
 	if starved != "" {
 		fmt.Printf("\nmost FLOP-starved layer: %s (%.1f%% of best observed rate)\n", starved, starvedPct)
 	}
+	return rep
+}
+
+// benchTrain runs a small fully traced in-process 4-rank training job on
+// deterministic synthetic data and derives the bench-area "train" metrics
+// from the gathered timelines — the same straggler analysis
+// cosmoflow-tracecat prints for a real run's trace, here sized to finish
+// in seconds so the trajectory can gate step-phase timings per commit.
+func benchTrain(iters int) *obsv.Report {
+	const (
+		ranks   = 4
+		tDim    = 16
+		samples = 32
+	)
+	epochs := iters
+	if epochs < 1 {
+		epochs = 1
+	}
+	rng := rand.New(rand.NewSource(5))
+	set := make([]*cosmo.Sample, samples)
+	for i := range set {
+		target := [3]float32{rng.Float32(), rng.Float32(), rng.Float32()}
+		set[i] = cosmo.SyntheticSample(tDim, target, rng.Int63())
+	}
+	cfg := train.Config{
+		Ranks:  ranks,
+		Epochs: epochs,
+		Topology: nn.TopologyConfig{
+			InputDim:     tDim,
+			BaseChannels: 4,
+			Seed:         1,
+		},
+		Algorithm:      comm.Ring,
+		Helpers:        2,
+		WorkersPerRank: 1,
+		Seed:           5,
+		Timeline:       true,
+	}
+	res, err := train.Run(cfg, set, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sr := obsv.BuildStragglerReport(res.Timelines)
+	fmt.Print(sr)
+
+	rep := obsv.NewReport("train")
+	sr.FillBenchReport(rep)
+	rep.Config["dim"] = fmt.Sprint(tDim)
+	rep.Config["samples"] = fmt.Sprint(samples)
+	rep.Config["epochs"] = fmt.Sprint(epochs)
 	return rep
 }
 

@@ -1,0 +1,61 @@
+// Command cosmoflow-tracecat validates and summarizes a training timeline
+// trace: it reads the Chrome trace-event JSON cosmoflow-train writes with
+// -timeline-out, strictly validates it (any malformed or unknown event is
+// an error, not a skip), and prints the cross-rank straggler report —
+// per-phase per-rank timings, each rank's compute/comm/overlap split, and
+// the slowest-rank attribution the timeline smoke test greps for.
+//
+// Usage:
+//
+//	cosmoflow-tracecat run.trace.json
+//	cosmoflow-tracecat -json bench/out/BENCH_train.json run.trace.json
+//
+// -json additionally writes the report's gated metrics (samples/s, step
+// time, per-phase means) as a bench area "train" report, the same
+// derivation cosmoflow-bench -area train uses, so a real run's trace can
+// be dropped into the benchmark trajectory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/obsv"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cosmoflow-tracecat: ")
+
+	jsonOut := flag.String("json", "", "also write the report's metrics as a BENCH_train.json bench report to this path")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cosmoflow-tracecat [-json out.json] run.trace.json")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	tls, err := obsv.ReadChromeTrace(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("%s: %v", flag.Arg(0), err)
+	}
+
+	rep := obsv.BuildStragglerReport(tls)
+	fmt.Print(rep)
+
+	if *jsonOut != "" {
+		bench := obsv.NewReport("train")
+		rep.FillBenchReport(bench)
+		bench.Config["source"] = flag.Arg(0)
+		if err := bench.WriteFile(*jsonOut); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote bench report to %s", *jsonOut)
+	}
+}

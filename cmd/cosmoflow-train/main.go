@@ -76,6 +76,10 @@ func main() {
 	maxRestarts := flag.Int("max-restarts", 2, "with -launch and -ckpt: relaunch a failed world up to N times")
 	abortAfter := flag.Int("abort-after", 0, "fault injection: rank 0 aborts after N epochs (dist mode; for tests)")
 	debugAddr := flag.String("debug-addr", "", "pprof + /metrics debug listen address, e.g. localhost:6063 (empty: disabled; /metrics carries the streaming loader's stage spans)")
+	timelineOut := flag.String("timeline-out", "", "write the run's per-rank phase timeline as Chrome trace-event JSON to this file (rank 0 writes; view in Perfetto or with cosmoflow-tracecat)")
+	timelineCap := flag.Int("timeline-cap", obsv.DefaultTimelineCap, "per-rank timeline ring capacity in events; oldest events are overwritten beyond it")
+	slowRank := flag.Int("slow-rank", -1, "straggler injection: sleep -slow-ms inside this rank's forward phase (-1: off; for the timeline smoke test)")
+	slowMs := flag.Int("slow-ms", 0, "straggler injection: per-step forward delay in milliseconds on -slow-rank")
 	flag.Parse()
 
 	if *launch > 0 {
@@ -132,16 +136,34 @@ func main() {
 		log.Fatal("provide -data DIR, -data-url URL, or -synthetic N")
 	}
 
+	// Live progress and phase timing feed the debug listener whether or not
+	// the timeline trace is on: the step counter and epoch gauge cost two
+	// atomics per step, and the phase recorder is only attached when there
+	// is a listener to scrape it.
+	prog := &train.Progress{}
+	var phaseRec *obsv.Recorder
 	if *debugAddr != "" {
 		// Training is not an HTTP daemon; the debug listener is its only
 		// scrape surface. Alongside pprof it serves GET /metrics with the
 		// streaming loader's stage spans (read/decode/wait_consumer/
-		// starved) when -stream or -data-url is on.
+		// starved) when -stream or -data-url is on, plus the local rank's
+		// training progress and per-phase wall time.
+		phaseRec = obsv.NewRecorder()
 		reg := obsv.NewMetricsRegistry()
 		startedAt := time.Now()
 		reg.GaugeFunc("cosmoflow_train_uptime_seconds", "seconds since the trainer started", func() []obsv.Sample {
 			return []obsv.Sample{{Value: time.Since(startedAt).Seconds()}}
 		})
+		reg.CounterFunc("cosmoflow_train_steps_total", "optimizer steps completed by the local rank", func() []obsv.Sample {
+			return []obsv.Sample{{Value: float64(prog.Steps())}}
+		})
+		reg.GaugeFunc("cosmoflow_train_epoch", "training epochs completed", func() []obsv.Sample {
+			return []obsv.Sample{{Value: float64(prog.Epochs())}}
+		})
+		reg.GaugeFunc("cosmoflow_train_samples_per_second", "latest completed epoch's global throughput", func() []obsv.Sample {
+			return []obsv.Sample{{Value: prog.Rate()}}
+		})
+		obsv.RegisterRecorder(reg, "cosmoflow_train_phase", "step phase wall time", phaseRec)
 		if loaderRec != nil {
 			obsv.RegisterRecorder(reg, "cosmoflow_train_loader", "streaming loader stage spans", loaderRec)
 		}
@@ -194,6 +216,14 @@ func main() {
 		ResumeFrom:      *resume,
 		OverlapComm:     *overlap,
 		AbortAfterEpoch: *abortAfter,
+		Timeline:        *timelineOut != "",
+		TimelineCap:     *timelineCap,
+		PhaseRecorder:   phaseRec,
+		Progress:        prog,
+	}
+	if *slowRank >= 0 && *slowMs > 0 {
+		cfg.InjectDelay = time.Duration(*slowMs) * time.Millisecond
+		cfg.InjectDelayRank = *slowRank
 	}
 	if loader != nil {
 		// Guarded: assigning a nil *data.Loader would make the interface
@@ -209,6 +239,7 @@ func main() {
 			log.Fatal(err)
 		}
 		report(res)
+		writeTimeline(*timelineOut, res)
 		return
 	}
 
@@ -235,6 +266,7 @@ func main() {
 	}
 	if w.Rank() == 0 {
 		report(res)
+		writeTimeline(*timelineOut, res)
 		fmt.Printf("rank 0 collective traffic: %.2f MB in %d messages\n",
 			float64(w.BytesSent())/1e6, w.MessagesSent())
 	} else {
@@ -264,6 +296,26 @@ func report(res *train.Result) {
 		fmt.Println("\ntime breakdown (rank 0, Figure-3 analogue):")
 		fmt.Println(res.Profile)
 	}
+}
+
+// writeTimeline exports the gathered rank timelines (rank 0's Result only;
+// a no-op on other ranks, whose gather leaves Timelines empty).
+func writeTimeline(path string, res *train.Result) {
+	if path == "" || len(res.Timelines) == 0 {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := obsv.WriteChromeTrace(f, res.Timelines); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d-rank timeline trace to %s", len(res.Timelines), path)
 }
 
 // runLauncher is the -launch N convenience mode: fork N local worker

@@ -55,17 +55,18 @@ func (a Algorithm) String() string {
 
 // MaxTags is the number of independent in-order message streams per rank
 // pair: one per helper team plus reserved control tags.
-const MaxTags = 10
+const MaxTags = 11
 
-// barrierTag and bcastTag are reserved message streams for control
-// collectives so they never interleave with helper traffic.
+// barrierTag, bcastTag, and gatherTag are reserved message streams for
+// control collectives so they never interleave with helper traffic.
 const (
 	barrierTag = MaxTags - 1
 	bcastTag   = MaxTags - 2
+	gatherTag  = MaxTags - 3
 )
 
 // maxHelpers is the largest usable helper-team count (remaining tags).
-const maxHelpers = MaxTags - 2
+const maxHelpers = MaxTags - 3
 
 // World is a set of n ranks joined by a point-to-point Transport. An
 // in-process world (NewWorld) hosts every rank over a shared channel mesh;
@@ -87,6 +88,10 @@ type World struct {
 	spBarrier       *obsv.Span
 	spAllGather     *obsv.Span
 	spReduceScatter *obsv.Span
+
+	// timeline, when non-nil, is inherited by every Comm the world hands
+	// out (see WithTimeline); per-rank overrides come from Comm.SetTimeline.
+	timeline *obsv.Timeline
 }
 
 // Option configures a World.
@@ -111,6 +116,16 @@ func WithRecorder(rec *obsv.Recorder) Option {
 		w.spAllGather = rec.Span("allgather")
 		w.spReduceScatter = rec.Span("reduce_scatter")
 	}
+}
+
+// WithTimeline attaches a wall-clock event timeline to every communicator
+// the world hands out: each collective records one phase event (allreduce,
+// broadcast, barrier, reduce_scatter, allgather) spanning its wall time.
+// Only meaningful for worlds with a single local rank (internal/dist) —
+// in-process multi-rank worlds should attach per-rank timelines with
+// Comm.SetTimeline instead, or the ranks would interleave into one ring.
+func WithTimeline(tl *obsv.Timeline) Option {
+	return func(w *World) { w.timeline = tl }
 }
 
 // WithHelpers sets the helper-team count used to chunk large allreduces
@@ -194,7 +209,7 @@ func (w *World) Comm(r int) *Comm {
 	if w.transports[r] == nil {
 		panic(fmt.Sprintf("comm: rank %d is not local to this world", r))
 	}
-	return &Comm{world: w, rank: r, tr: w.transports[r]}
+	return &Comm{world: w, rank: r, tr: w.transports[r], tl: w.timeline}
 }
 
 // Comms returns communicators for all ranks in order. Only valid on an
@@ -213,10 +228,18 @@ type Comm struct {
 	world *World
 	rank  int
 	tr    Transport
+	tl    *obsv.Timeline
 }
 
 // Rank returns this endpoint's rank.
 func (c *Comm) Rank() int { return c.rank }
+
+// SetTimeline attaches (or with nil detaches) a per-rank event timeline to
+// this communicator handle: subsequent collectives record one phase event
+// each. The train loop uses this to give every in-process rank its own
+// ring, and detaches before the end-of-run timeline gather so the gather's
+// own traffic is not recorded.
+func (c *Comm) SetTimeline(tl *obsv.Timeline) { c.tl = tl }
 
 // Size returns the world size.
 func (c *Comm) Size() int { return c.world.n }
@@ -255,6 +278,9 @@ func (c *Comm) Barrier() {
 	if sp := c.world.spBarrier; sp != nil {
 		defer observe(sp, time.Now())
 	}
+	if tl := c.tl; tl != nil {
+		defer tl.Record(obsv.PhaseBarrier, time.Now())
+	}
 	n := c.world.n
 	if n == 1 {
 		return
@@ -271,6 +297,9 @@ func (c *Comm) Barrier() {
 func (c *Comm) Broadcast(buf []float32, root int) {
 	if sp := c.world.spBroadcast; sp != nil {
 		defer observe(sp, time.Now())
+	}
+	if tl := c.tl; tl != nil {
+		defer tl.Record(obsv.PhaseBroadcast, time.Now())
 	}
 	n := c.world.n
 	if n == 1 {
@@ -336,6 +365,9 @@ func (c *Comm) AllReduceMax(buf []float32) { c.allReduce(buf, opMax) }
 func (c *Comm) allReduce(buf []float32, op reduceOp) {
 	if sp := c.world.spAllReduce; sp != nil {
 		defer observe(sp, time.Now())
+	}
+	if tl := c.tl; tl != nil {
+		defer tl.Record(obsv.PhaseAllReduce, time.Now())
 	}
 	n := c.world.n
 	if n == 1 {
@@ -498,6 +530,9 @@ func (c *Comm) ReduceScatterSum(buf []float32) (lo, hi int) {
 	if sp := c.world.spReduceScatter; sp != nil {
 		defer observe(sp, time.Now())
 	}
+	if tl := c.tl; tl != nil {
+		defer tl.Record(obsv.PhaseReduceScatter, time.Now())
+	}
 	n := c.world.n
 	if n == 1 {
 		return 0, len(buf)
@@ -525,6 +560,9 @@ func (c *Comm) AllGather(local, out []float32) {
 	if sp := c.world.spAllGather; sp != nil {
 		defer observe(sp, time.Now())
 	}
+	if tl := c.tl; tl != nil {
+		defer tl.Record(obsv.PhaseAllGather, time.Now())
+	}
 	n := c.world.n
 	if len(out) != n*len(local) {
 		panic(fmt.Sprintf("comm: AllGather out length %d, want %d", len(out), n*len(local)))
@@ -543,4 +581,31 @@ func (c *Comm) AllGather(local, out []float32) {
 		got := c.recv(prev, 0)
 		copy(out[dst*len(local):(dst+1)*len(local)], got)
 	}
+}
+
+// Gather collects every rank's variable-length local buffer at root,
+// returned in rank order (nil on every other rank). Unlike AllGather the
+// blocks need not be equal length — this is the collective behind the
+// end-of-run timeline gather, where each rank recorded a different number
+// of events. It runs on a reserved tag so it never interleaves with
+// helper traffic, and the payload rides the same bit-exact float32 framing
+// as every other collective.
+func (c *Comm) Gather(local []float32, root int) [][]float32 {
+	n := c.world.n
+	if root < 0 || root >= n {
+		panic(fmt.Sprintf("comm: Gather root %d outside world of size %d", root, n))
+	}
+	if c.rank != root {
+		c.send(root, gatherTag, local)
+		return nil
+	}
+	out := make([][]float32, n)
+	out[root] = append([]float32(nil), local...)
+	for src := 0; src < n; src++ {
+		if src == root {
+			continue
+		}
+		out[src] = c.recv(src, gatherTag)
+	}
+	return out
 }

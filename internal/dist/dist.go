@@ -53,6 +53,10 @@ type Config struct {
 	// the TCP mesh observes its wall time. Off by default — the untimed
 	// path is a nil check per collective.
 	Recorder *obsv.Recorder
+	// Timeline, when non-nil, attaches a wall-clock event timeline to this
+	// process's single local rank (comm.WithTimeline): each collective
+	// records one phase event. Off by default.
+	Timeline *obsv.Timeline
 	// HeartbeatEvery is the keepalive send interval (default 500ms).
 	HeartbeatEvery time.Duration
 	// PeerTimeout is how long a silent connection may stay silent before
@@ -145,7 +149,7 @@ func Join(cfg Config) (*World, error) {
 	}
 	cw, err := comm.NewWorldWithTransport(cfg.Size, rank, tr,
 		comm.WithAlgorithm(cfg.Algorithm), comm.WithHelpers(cfg.Helpers),
-		comm.WithRecorder(cfg.Recorder))
+		comm.WithRecorder(cfg.Recorder), comm.WithTimeline(cfg.Timeline))
 	if err != nil {
 		tr.abandon()
 		return nil, err

@@ -147,8 +147,11 @@ type Delta struct {
 // moves in its worse direction by more than thresholdPct percent, or when
 // it vanished from the current report (a silently dropped measurement must
 // not read as a pass). Metrics new in current are ignored — they extend
-// the trajectory, the next baseline refresh picks them up.
-func Compare(baseline, current *Report, thresholdPct float64) []Delta {
+// the trajectory, the next baseline refresh picks them up. A metric
+// present in both reports whose `better` direction disagrees is a schema
+// error: the two files are not measuring the same thing, and picking
+// either direction could hide a real regression.
+func Compare(baseline, current *Report, thresholdPct float64) ([]Delta, error) {
 	names := make([]string, 0, len(baseline.Metrics))
 	for n := range baseline.Metrics {
 		names = append(names, n)
@@ -159,6 +162,10 @@ func Compare(baseline, current *Report, thresholdPct float64) []Delta {
 		b := baseline.Metrics[n]
 		d := Delta{Name: n, Base: b.Value, Unit: b.Unit, Better: b.Better}
 		c, ok := current.Metrics[n]
+		if ok && b.Better != c.Better {
+			return nil, fmt.Errorf("obsv: metric %q direction disagrees: baseline says %q better, current says %q",
+				n, b.Better, c.Better)
+		}
 		if d.Unit == "" && ok {
 			// Older baselines predate units on some metrics; borrow the
 			// current report's so the table never prints a bare number.
@@ -184,7 +191,7 @@ func Compare(baseline, current *Report, thresholdPct float64) []Delta {
 		}
 		out = append(out, d)
 	}
-	return out
+	return out, nil
 }
 
 // CompareDirs compares every BENCH_*.json in baselineDir against the
@@ -219,7 +226,11 @@ func CompareDirs(baselineDir, currentDir string, thresholdPct float64) (string, 
 		}
 		fmt.Fprintf(&b, "%s (%s -> %s, threshold %.1f%%):\n",
 			base.Area, short(base.GitSHA), short(cur.GitSHA), thresholdPct)
-		for _, d := range Compare(base, cur, thresholdPct) {
+		deltas, err := Compare(base, cur, thresholdPct)
+		if err != nil {
+			return "", false, fmt.Errorf("%s: %w", base.Area, err)
+		}
+		for _, d := range deltas {
 			mark := "  "
 			switch {
 			case d.Missing:

@@ -14,6 +14,16 @@ func testReport(area string) *Report {
 	return r
 }
 
+// mustCompare wraps Compare for the tests exercising clean schemas.
+func mustCompare(t *testing.T, base, cur *Report, threshold float64) []Delta {
+	t.Helper()
+	deltas, err := Compare(base, cur, threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return deltas
+}
+
 func TestReportRoundTrip(t *testing.T) {
 	t.Setenv("COSMOFLOW_GIT_SHA", "cafe1234")
 	path := filepath.Join(t.TempDir(), "out", "BENCH_serve.json")
@@ -61,7 +71,7 @@ func TestCompareFlagsInjectedRegression(t *testing.T) {
 	cur.SetLower("p99_ms", 20*1.08, "ms")   // lower-better metric worse by 8%
 	cur.SetHigher("qps", 500*0.92, "req/s") // higher-better metric worse by 8%
 
-	deltas := Compare(base, cur, 5)
+	deltas := mustCompare(t, base, cur, 5)
 	byName := map[string]Delta{}
 	for _, d := range deltas {
 		byName[d.Name] = d
@@ -74,7 +84,7 @@ func TestCompareFlagsInjectedRegression(t *testing.T) {
 	}
 
 	// Same drift within a looser threshold: clean.
-	for _, d := range Compare(base, cur, 10) {
+	for _, d := range mustCompare(t, base, cur, 10) {
 		if d.Regression {
 			t.Errorf("%s flagged at 10%% threshold: %+v", d.Name, d)
 		}
@@ -83,10 +93,46 @@ func TestCompareFlagsInjectedRegression(t *testing.T) {
 	// Improvements in each metric's better direction: clean at any threshold.
 	cur.SetLower("p99_ms", 10, "ms")
 	cur.SetHigher("qps", 900, "req/s")
-	for _, d := range Compare(base, cur, 5) {
+	for _, d := range mustCompare(t, base, cur, 5) {
 		if d.Regression {
 			t.Errorf("improvement flagged as regression: %+v", d)
 		}
+	}
+}
+
+// A metric whose better direction disagrees between baseline and current is
+// a schema error: the two files are no longer measuring the same thing, so
+// comparing under either direction could mask a real regression.
+func TestCompareDirectionConflictIsSchemaError(t *testing.T) {
+	base := testReport("serve")
+	cur := testReport("serve")
+	cur.SetHigher("p99_ms", 20, "ms") // baseline says lower-better
+
+	if _, err := Compare(base, cur, 5); err == nil {
+		t.Fatal("Compare accepted a better-direction conflict")
+	} else if !strings.Contains(err.Error(), "p99_ms") {
+		t.Errorf("conflict error does not name the metric: %v", err)
+	}
+
+	// The same conflict must fail CompareDirs (the benchdiff path) as an
+	// error, not render as a pass or a mere regression.
+	baseDir, curDir := t.TempDir(), t.TempDir()
+	if err := base.WriteFile(filepath.Join(baseDir, "BENCH_serve.json")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cur.WriteFile(filepath.Join(curDir, "BENCH_serve.json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := CompareDirs(baseDir, curDir, 5); err == nil {
+		t.Fatal("CompareDirs accepted a better-direction conflict")
+	}
+
+	// A metric direction changing for one absent from the baseline is fine:
+	// new metrics are ignored.
+	cur2 := testReport("serve")
+	cur2.SetHigher("brand_new", 1, "")
+	if _, err := Compare(base, cur2, 5); err != nil {
+		t.Fatalf("new metric treated as conflict: %v", err)
 	}
 }
 
@@ -96,7 +142,7 @@ func TestCompareMissingMetricIsRegression(t *testing.T) {
 	delete(cur.Metrics, "p99_ms")
 	cur.SetHigher("new_metric", 1, "") // new in current: ignored
 
-	deltas := Compare(base, cur, 5)
+	deltas := mustCompare(t, base, cur, 5)
 	if len(deltas) != 2 {
 		t.Fatalf("got %d deltas, want 2 (baseline metrics only)", len(deltas))
 	}

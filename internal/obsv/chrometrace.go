@@ -1,0 +1,159 @@
+package obsv
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// chromeEvent is one Chrome trace-event object. The exporter emits only
+// "X" (complete) slices plus "M" (metadata) thread names — the subset
+// chrome://tracing and Perfetto both accept — with ts/dur in microseconds
+// per the trace-event format.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object container form of the format.
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit,omitempty"`
+}
+
+// Each rank gets two tracks so overlapped communication renders beside —
+// not misnested inside — the compute phases: tid 2r for the step phases,
+// tid 2r+1 for the collectives.
+func chromeTid(rank int, comm bool) int {
+	if comm {
+		return 2*rank + 1
+	}
+	return 2 * rank
+}
+
+// WriteChromeTrace emits tls as Chrome trace-event JSON: one process, two
+// named threads per rank (train + comm), wall-clock aligned across ranks
+// via each timeline's BaseUnixNs so straggler skew is visible on a shared
+// time axis.
+func WriteChromeTrace(w io.Writer, tls []RankTimeline) error {
+	if len(tls) == 0 {
+		return fmt.Errorf("obsv: no timelines to export")
+	}
+	sorted := append([]RankTimeline(nil), tls...)
+	SortTimelines(sorted)
+	minBase := sorted[0].BaseUnixNs
+	for _, rt := range sorted {
+		if rt.BaseUnixNs < minBase {
+			minBase = rt.BaseUnixNs
+		}
+	}
+	tr := chromeTrace{DisplayTimeUnit: "ms"}
+	tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 0,
+		Args: map[string]any{"name": "cosmoflow-train"},
+	})
+	for _, rt := range sorted {
+		tr.TraceEvents = append(tr.TraceEvents,
+			chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 0, Tid: chromeTid(rt.Rank, false),
+				Args: map[string]any{"name": fmt.Sprintf("rank %d train", rt.Rank)},
+			},
+			chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 0, Tid: chromeTid(rt.Rank, true),
+				Args: map[string]any{"name": fmt.Sprintf("rank %d comm", rt.Rank)},
+			})
+		shift := rt.BaseUnixNs - minBase
+		for _, ev := range rt.Events {
+			dur := float64(ev.DurNs) / 1e3
+			tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+				Name: ev.Phase.String(),
+				Cat:  map[bool]string{false: "train", true: "comm"}[ev.Phase.IsComm()],
+				Ph:   "X",
+				Ts:   float64(shift+ev.StartNs) / 1e3,
+				Dur:  &dur,
+				Pid:  0,
+				Tid:  chromeTid(rt.Rank, ev.Phase.IsComm()),
+				Args: map[string]any{"step": ev.Step},
+			})
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&tr)
+}
+
+// ReadChromeTrace parses and strictly validates Chrome trace-event JSON
+// produced by WriteChromeTrace (object form with a traceEvents array),
+// reconstructing per-rank timelines on a shared time base (BaseUnixNs 0,
+// StartNs = ts·1000). It is the validator behind cosmoflow-tracecat: any
+// event that is not a well-formed "X" slice with a known phase name — or
+// "M" metadata — is an error, not a skip.
+func ReadChromeTrace(r io.Reader) ([]RankTimeline, error) {
+	dec := json.NewDecoder(r)
+	var tr chromeTrace
+	if err := dec.Decode(&tr); err != nil {
+		return nil, fmt.Errorf("obsv: chrome trace: %w", err)
+	}
+	if tr.TraceEvents == nil {
+		return nil, fmt.Errorf("obsv: chrome trace: missing traceEvents array")
+	}
+	byRank := map[int]*RankTimeline{}
+	for i, ev := range tr.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			continue
+		case "X":
+		default:
+			return nil, fmt.Errorf("obsv: chrome trace: event %d has ph %q, want X or M", i, ev.Ph)
+		}
+		p, ok := ParsePhase(ev.Name)
+		if !ok {
+			return nil, fmt.Errorf("obsv: chrome trace: event %d has unknown phase name %q", i, ev.Name)
+		}
+		if ev.Dur == nil || *ev.Dur < 0 {
+			return nil, fmt.Errorf("obsv: chrome trace: event %d (%s) missing or negative dur", i, ev.Name)
+		}
+		if ev.Ts < 0 {
+			return nil, fmt.Errorf("obsv: chrome trace: event %d (%s) has negative ts", i, ev.Name)
+		}
+		if ev.Tid < 0 {
+			return nil, fmt.Errorf("obsv: chrome trace: event %d (%s) has negative tid", i, ev.Name)
+		}
+		rank := ev.Tid / 2
+		rt := byRank[rank]
+		if rt == nil {
+			rt = &RankTimeline{Rank: rank}
+			byRank[rank] = rt
+		}
+		var step int32
+		if v, ok := ev.Args["step"]; ok {
+			f, ok := v.(float64)
+			if !ok {
+				return nil, fmt.Errorf("obsv: chrome trace: event %d (%s) has non-numeric step", i, ev.Name)
+			}
+			step = int32(f)
+		}
+		rt.Events = append(rt.Events, TimelineEvent{
+			Phase:   p,
+			Step:    step,
+			StartNs: int64(ev.Ts * 1e3),
+			DurNs:   int64(*ev.Dur * 1e3),
+		})
+	}
+	if len(byRank) == 0 {
+		return nil, fmt.Errorf("obsv: chrome trace: no phase events")
+	}
+	out := make([]RankTimeline, 0, len(byRank))
+	for _, rt := range byRank {
+		sort.SliceStable(rt.Events, func(a, b int) bool { return rt.Events[a].StartNs < rt.Events[b].StartNs })
+		out = append(out, *rt)
+	}
+	SortTimelines(out)
+	return out, nil
+}

@@ -102,6 +102,68 @@ func TestTrendTable(t *testing.T) {
 	}
 }
 
+// A metric that comes and goes across the history (collected at some SHAs,
+// absent at others, interleaved) must render an (absent) row at each gap
+// while percent deltas skip the gaps and compare against the previous
+// commit that actually carried the metric.
+func TestTrendTableInterleavedMissingSHAs(t *testing.T) {
+	r1 := historyReport("train", "aaaa", "2026-08-01T00:00:00Z", 100)
+	r1.SetLower("step_ms", 10, "ms")
+	r2 := historyReport("train", "bbbb", "2026-08-02T00:00:00Z", 110)
+	delete(r2.Metrics, "step_ms") // gap in the middle
+	r3 := historyReport("train", "cccc", "2026-08-03T00:00:00Z", 120)
+	r3.SetLower("step_ms", 8, "ms")
+	r4 := historyReport("train", "dddd", "2026-08-04T00:00:00Z", 130)
+	delete(r4.Metrics, "qps") // gap in a different metric at a later SHA
+	r4.SetLower("step_ms", 4, "ms")
+
+	table := TrendTable([]*Report{r1, r2, r3, r4}, "step_ms")
+	lines := strings.Split(table, "\n")
+	var bbbbLine, ccccLine, ddddLine string
+	for _, l := range lines {
+		switch {
+		case strings.Contains(l, "bbbb"):
+			bbbbLine = l
+		case strings.Contains(l, "cccc"):
+			ccccLine = l
+		case strings.Contains(l, "dddd"):
+			ddddLine = l
+		}
+	}
+	if !strings.Contains(bbbbLine, "(absent)") {
+		t.Errorf("gap SHA bbbb not marked absent: %q", bbbbLine)
+	}
+	// The delta at cccc must bridge the gap: 10 -> 8 against aaaa, the
+	// previous carrier, not against the absent bbbb.
+	if !strings.Contains(ccccLine, "-20.0%") {
+		t.Errorf("post-gap delta not computed vs previous carrier: %q", ccccLine)
+	}
+	if !strings.Contains(ddddLine, "-50.0%") {
+		t.Errorf("contiguous delta wrong after a gap elsewhere: %q", ddddLine)
+	}
+
+	// Unfiltered: both metrics' interleaved gaps render, each exactly once.
+	full := TrendTable([]*Report{r1, r2, r3, r4}, "")
+	if got := strings.Count(full, "(absent)"); got != 2 {
+		t.Errorf("full table has %d (absent) rows, want 2 (one per interleaved gap):\n%s", got, full)
+	}
+	var qpsDDDD string
+	inQPS := false
+	for _, l := range strings.Split(full, "\n") {
+		if strings.HasPrefix(l, "qps") {
+			inQPS = true
+		} else if strings.HasPrefix(l, "step_ms") {
+			inQPS = false
+		}
+		if inQPS && strings.Contains(l, "dddd") {
+			qpsDDDD = l
+		}
+	}
+	if !strings.Contains(qpsDDDD, "(absent)") {
+		t.Errorf("qps gap at dddd not marked absent: %q", qpsDDDD)
+	}
+}
+
 func TestReadReportToleratesAbsentConfig(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_x.json")
 	raw := `{"schema":"` + SchemaVersion + `","area":"x","git_sha":"dddd",` +
@@ -138,7 +200,7 @@ func TestCompareReportsUnits(t *testing.T) {
 	cur := NewReport("serve")
 	cur.SetHigher("qps", 110, "req/s")
 
-	deltas := Compare(base, cur, 5)
+	deltas := mustCompare(t, base, cur, 5)
 	for _, d := range deltas {
 		switch d.Name {
 		case "qps":

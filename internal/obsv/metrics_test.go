@@ -66,6 +66,68 @@ func TestMetricsRegistryRenderAndParse(t *testing.T) {
 	}
 }
 
+// Every escape class the exposition format defines for label values —
+// quotes, backslashes, newlines, and their adversarial combinations (a
+// literal backslash-n that must NOT collapse into a newline, a trailing
+// backslash, mixed runs) — must survive registry render → ParseExposition
+// byte-exact.
+func TestParseExpositionEscapedLabelRoundTrip(t *testing.T) {
+	values := []string{
+		`plain`,
+		`quo"te`,
+		`back\slash`,
+		"new\nline",
+		`literal\nbackslash-n`, // backslash + 'n', not a newline
+		"\n",
+		`\`,
+		`trailing\`,
+		`\\double`,
+		"mix\\\"q\nuote\\n\\",
+	}
+	r := NewMetricsRegistry()
+	r.GaugeFunc("test_escape", "escape torture", func() []Sample {
+		out := make([]Sample, len(values))
+		for i, v := range values {
+			out[i] = Sample{Labels: []Label{L("val", v)}, Value: float64(i)}
+		}
+		return out
+	})
+
+	var b strings.Builder
+	if err := r.Write(&b); err != nil {
+		t.Fatal(err)
+	}
+	rendered := b.String()
+	fams, err := ParseExposition(strings.NewReader(rendered))
+	if err != nil {
+		t.Fatalf("ParseExposition: %v\n%s", err, rendered)
+	}
+	f := fams["test_escape"]
+	if f == nil {
+		t.Fatalf("family missing:\n%s", rendered)
+	}
+	if len(f.Samples) != len(values) {
+		t.Fatalf("parsed %d samples, want %d:\n%s", len(f.Samples), len(values), rendered)
+	}
+	for i, want := range values {
+		v, ok := f.Value("test_escape", map[string]string{"val": want})
+		if !ok {
+			t.Errorf("value %q did not round-trip:\n%s", want, rendered)
+			continue
+		}
+		if v != float64(i) {
+			t.Errorf("value %q matched the wrong sample: got %v, want %d", want, v, i)
+		}
+	}
+	// The rendered form must carry no raw newline inside any label value —
+	// each sample stays one line.
+	for _, line := range strings.Split(strings.TrimRight(rendered, "\n"), "\n") {
+		if strings.HasPrefix(line, "test_escape{") && !strings.Contains(line, "} ") {
+			t.Errorf("sample split across lines: %q", line)
+		}
+	}
+}
+
 func TestMetricsHandler(t *testing.T) {
 	r := NewMetricsRegistry()
 	r.Counter("test_total", "t").Inc()

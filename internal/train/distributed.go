@@ -43,6 +43,7 @@ func RunDistributed(cfg Config, c *comm.Comm, trainSet, valSet []*cosmo.Sample) 
 		return nil, fmt.Errorf("train: config Ranks %d does not match world size %d", cfg.Ranks, c.Size())
 	}
 	rank := c.Rank()
+	cfg.progressRank = rank // the local rank feeds Progress, whatever its id
 
 	topo := cfg.Topology
 	topo.Seed += int64(rank) // same differing inits as Run; broadcast equalizes

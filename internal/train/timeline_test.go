@@ -1,0 +1,289 @@
+package train
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obsv"
+)
+
+// tracedConfig is smallConfig plus full tracing: timeline, phase recorder,
+// progress, and a straggler injected at slowRank (pass -1 for none).
+func tracedConfig(ranks, epochs, slowRank int) Config {
+	cfg := smallConfig(ranks, epochs)
+	cfg.Timeline = true
+	cfg.PhaseRecorder = obsv.NewRecorder()
+	cfg.Progress = &Progress{}
+	if slowRank >= 0 {
+		cfg.InjectDelay = 3 * time.Millisecond
+		cfg.InjectDelayRank = slowRank
+	}
+	return cfg
+}
+
+// lossesBitEqual asserts two runs recorded the same per-epoch losses bit
+// for bit (the %.17g round-trip is exact for float64).
+func lossesBitEqual(t *testing.T, a, b *Result, context string) {
+	t.Helper()
+	if len(a.Epochs) != len(b.Epochs) {
+		t.Fatalf("%s: %d vs %d epochs", context, len(a.Epochs), len(b.Epochs))
+	}
+	for i := range a.Epochs {
+		av := fmt.Sprintf("%.17g/%.17g", a.Epochs[i].TrainLoss, a.Epochs[i].ValLoss)
+		bv := fmt.Sprintf("%.17g/%.17g", b.Epochs[i].TrainLoss, b.Epochs[i].ValLoss)
+		if av != bv {
+			t.Errorf("%s: epoch %d losses %s vs %s (not bit-identical)", context, i, av, bv)
+		}
+	}
+}
+
+// The tentpole bit-identity guarantee: full tracing plus an injected
+// straggler delay must not change a single trained bit — recorded timing
+// and sleeps never feed the math.
+func TestRunTimelineBitIdentical(t *testing.T) {
+	trainSet := syntheticSet(16, 8, 1)
+	valSet := syntheticSet(4, 8, 2)
+
+	base, err := Run(smallConfig(4, 2), trainSet, valSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := Run(tracedConfig(4, 2, 1), trainSet, valSet)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lossesBitEqual(t, base, traced, "traced vs untraced")
+	paramsEqual(t, base.Net, traced.Net, "traced vs untraced")
+
+	if len(traced.Timelines) != 4 {
+		t.Fatalf("gathered %d rank timelines, want 4", len(traced.Timelines))
+	}
+	if len(base.Timelines) != 0 {
+		t.Errorf("untraced run gathered %d timelines, want none", len(base.Timelines))
+	}
+	stepsPerEpoch := len(trainSet) / 4
+	totalSteps := stepsPerEpoch * 2
+	for r, rt := range traced.Timelines {
+		if rt.Rank != r {
+			t.Errorf("timeline %d has rank %d", r, rt.Rank)
+		}
+		if rt.Dropped != 0 {
+			t.Errorf("rank %d dropped %d events at default cap", r, rt.Dropped)
+		}
+		counts := map[obsv.Phase]int{}
+		for _, ev := range rt.Events {
+			counts[ev.Phase]++
+			if ev.Step < 0 || int(ev.Step) >= totalSteps {
+				t.Errorf("rank %d: step %d outside [0,%d)", r, ev.Step, totalSteps)
+			}
+			if ev.DurNs < 0 {
+				t.Errorf("rank %d: negative duration %d", r, ev.DurNs)
+			}
+		}
+		for _, p := range []obsv.Phase{obsv.PhaseDataWait, obsv.PhaseForward, obsv.PhaseBackward, obsv.PhaseOptimizer} {
+			if counts[p] != totalSteps {
+				t.Errorf("rank %d: %d %s events, want %d", r, counts[p], p, totalSteps)
+			}
+		}
+		// The allreduce events come from the comm layer: one per gradient
+		// buffer reduction per step, plus scalar loss reductions — at
+		// least one per step either way.
+		if counts[obsv.PhaseAllReduce] < totalSteps {
+			t.Errorf("rank %d: %d allreduce events, want >= %d", r, counts[obsv.PhaseAllReduce], totalSteps)
+		}
+		if counts[obsv.PhaseEval] != 2 {
+			t.Errorf("rank %d: %d eval events, want 2", r, counts[obsv.PhaseEval])
+		}
+	}
+}
+
+// The straggler report must attribute an injected forward-phase delay to
+// the injected rank, by name, in the greppable summary line the timeline
+// smoke test checks.
+func TestStragglerReportNamesInjectedSlowRank(t *testing.T) {
+	trainSet := syntheticSet(16, 8, 3)
+	cfg := tracedConfig(4, 2, 2)
+	cfg.InjectDelay = 5 * time.Millisecond
+	res, err := Run(cfg, trainSet, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := obsv.BuildStragglerReport(res.Timelines)
+	if rep.SlowestRank != 2 {
+		t.Errorf("SlowestRank = %d, want 2\n%s", rep.SlowestRank, rep.String())
+	}
+	if rep.SlowestPhase != obsv.PhaseForward {
+		t.Errorf("SlowestPhase = %s, want forward", rep.SlowestPhaseName)
+	}
+	out := rep.String()
+	if !strings.Contains(out, "slowest rank: 2") {
+		t.Errorf("report does not name the slowed rank:\n%s", out)
+	}
+	if rep.SamplesPerSec <= 0 {
+		t.Errorf("SamplesPerSec = %g, want positive", rep.SamplesPerSec)
+	}
+}
+
+// Overlapped communication records the comm goroutine's allreduce events
+// concurrently with backward on the same lock-free ring; the gather and the
+// report must still work, and the trained bits must still match the
+// blocking path's bit-identity guarantee (covered elsewhere) — here we
+// check the trace shape survives concurrency.
+func TestRunTimelineOverlapComm(t *testing.T) {
+	trainSet := syntheticSet(8, 8, 4)
+	cfg := tracedConfig(2, 1, -1)
+	cfg.OverlapComm = true
+	res, err := Run(cfg, trainSet, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timelines) != 2 {
+		t.Fatalf("gathered %d timelines, want 2", len(res.Timelines))
+	}
+	for r, rt := range res.Timelines {
+		var comm, fwd int
+		for _, ev := range rt.Events {
+			if ev.Phase == obsv.PhaseAllReduce {
+				comm++
+			}
+			if ev.Phase == obsv.PhaseForward {
+				fwd++
+			}
+		}
+		if comm == 0 || fwd == 0 {
+			t.Errorf("rank %d: %d allreduce / %d forward events under overlap", r, comm, fwd)
+		}
+	}
+	if rep := obsv.BuildStragglerReport(res.Timelines); rep.Ranks != 2 {
+		t.Errorf("report ranks = %d, want 2", rep.Ranks)
+	}
+}
+
+// The phase recorder and progress block feed the -debug-addr exposition;
+// both must see the run even though they are side sinks of the same clock.
+func TestPhaseRecorderAndProgress(t *testing.T) {
+	trainSet := syntheticSet(8, 8, 5)
+	cfg := tracedConfig(2, 3, -1)
+	res, err := Run(cfg, trainSet, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	stepsPerEpoch := len(trainSet) / 2
+
+	// Progress is fed by rank 0 only in an in-process world.
+	if got, want := cfg.Progress.Steps(), int64(stepsPerEpoch*3); got != want {
+		t.Errorf("Progress.Steps() = %d, want %d", got, want)
+	}
+	if got := cfg.Progress.Epochs(); got != 3 {
+		t.Errorf("Progress.Epochs() = %d, want 3", got)
+	}
+	if rate := cfg.Progress.Rate(); rate <= 0 {
+		t.Errorf("Progress.Rate() = %g, want positive", rate)
+	}
+
+	// Recorder spans aggregate across both ranks.
+	snaps := cfg.PhaseRecorder.Snapshot()
+	byName := map[string]obsv.SpanStat{}
+	for _, s := range snaps {
+		byName[s.Name] = s
+	}
+	for _, name := range []string{"forward", "backward", "allreduce", "optimizer"} {
+		s, ok := byName[name]
+		if !ok {
+			t.Errorf("recorder has no %q span", name)
+			continue
+		}
+		if want := int64(stepsPerEpoch * 3 * 2); s.Count != want {
+			t.Errorf("span %s count = %d, want %d", name, s.Count, want)
+		}
+	}
+}
+
+// A ring smaller than the run must wrap and report the overwritten events
+// as Dropped rather than failing the gather.
+func TestTimelineCapWrapsWithDropCount(t *testing.T) {
+	trainSet := syntheticSet(16, 8, 6)
+	cfg := tracedConfig(2, 2, -1)
+	cfg.TimelineCap = 8
+	res, err := Run(cfg, trainSet, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, rt := range res.Timelines {
+		if len(rt.Events) != 8 {
+			t.Errorf("rank %d: %d events, want ring cap 8", r, len(rt.Events))
+		}
+		if rt.Dropped <= 0 {
+			t.Errorf("rank %d: Dropped = %d, want positive after wrap", r, rt.Dropped)
+		}
+	}
+}
+
+// The distributed path gathers over the real TCP transport: rank 0's
+// Result carries every rank's timeline; other ranks carry none.
+func TestRunDistributedTimelineGather(t *testing.T) {
+	trainSet := syntheticSet(8, 8, 7)
+	cfg := smallConfig(2, 1)
+	cfg.Timeline = true
+	results, errs := runTCPWorld(t, cfg, trainSet, nil)
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	if len(results[0].Timelines) != 2 {
+		t.Fatalf("rank 0 gathered %d timelines, want 2", len(results[0].Timelines))
+	}
+	if len(results[1].Timelines) != 0 {
+		t.Errorf("rank 1 holds %d timelines, want none (gather root is rank 0)", len(results[1].Timelines))
+	}
+	for r, rt := range results[0].Timelines {
+		if rt.Rank != r {
+			t.Errorf("timeline %d decodes to rank %d", r, rt.Rank)
+		}
+		if len(rt.Events) == 0 {
+			t.Errorf("rank %d timeline is empty", r)
+		}
+	}
+	// The gathered trace must render and read back as Chrome trace JSON.
+	var sb strings.Builder
+	if err := obsv.WriteChromeTrace(&sb, results[0].Timelines); err != nil {
+		t.Fatal(err)
+	}
+	back, err := obsv.ReadChromeTrace(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("re-reading trace: %v", err)
+	}
+	if len(back) != 2 {
+		t.Errorf("trace round-trips to %d ranks, want 2", len(back))
+	}
+}
+
+// BenchmarkTrain_TimelineOverhead measures the acceptance criterion: a
+// dim-16 4-rank traced run must stay within a few percent of the untraced
+// samples/s (compare the off/on sub-benchmarks' samples/s metric).
+func BenchmarkTrain_TimelineOverhead(b *testing.B) {
+	trainSet := syntheticSet(8, 16, 1)
+	run := func(b *testing.B, timeline bool) {
+		cfg := smallConfig(4, 1)
+		cfg.Topology.InputDim = 16
+		cfg.Timeline = timeline
+		b.ResetTimer()
+		var samples float64
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			res, err := Run(cfg, trainSet, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			samples += float64(res.Epochs[0].Steps * 4)
+		}
+		b.ReportMetric(samples/time.Since(start).Seconds(), "samples/s")
+	}
+	b.Run("off", func(b *testing.B) { run(b, false) })
+	b.Run("on", func(b *testing.B) { run(b, true) })
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/cosmo"
 	"repro/internal/data"
 	"repro/internal/nn"
+	"repro/internal/obsv"
 	"repro/internal/optim"
 	"repro/internal/parallel"
 	"repro/internal/tensor"
@@ -77,6 +78,35 @@ type Config struct {
 	// remaining back-propagation — the non-blocking pipelining the CPE ML
 	// Plugin uses to hide straggler imbalance (§III-D).
 	OverlapComm bool
+	// Timeline enables per-rank wall-clock phase tracing: every rank
+	// records step-phase events (data_wait, forward, backward, optimizer,
+	// checkpoint, eval — plus the comm layer's collective events) into a
+	// ring of TimelineCap events, and after the final epoch rank 0 gathers
+	// every rank's ring over the transport into Result.Timelines. Disabled
+	// (the default), the step loop pays nil checks only and the trained
+	// bits are identical — recorded timing never feeds the math.
+	Timeline    bool
+	TimelineCap int
+	// PhaseRecorder, when non-nil, additionally accumulates each phase's
+	// wall time into named spans — the scrape surface cosmoflow-train
+	// exports as cosmoflow_train_phase_seconds_total on -debug-addr. In an
+	// in-process world all ranks share it (spans aggregate across ranks,
+	// like a replica pool's ForwardTrace).
+	PhaseRecorder *obsv.Recorder
+	// Progress, when non-nil, receives live step/epoch/throughput counts
+	// from rank 0 (or from the local rank under RunDistributed) for the
+	// debug listener's train_steps_total / train_epoch series.
+	Progress *Progress
+	// InjectDelay, when positive, makes rank InjectDelayRank sleep that
+	// long inside every forward phase — straggler fault injection for the
+	// timeline smoke and the attribution tests. Sleeping never touches the
+	// math, so the trained bits stay identical to an undelayed run.
+	InjectDelay     time.Duration
+	InjectDelayRank int
+
+	// progressRank is the rank that feeds Progress: 0 in-process;
+	// RunDistributed sets it to the local rank.
+	progressRank int
 }
 
 // Validate checks the configuration.
@@ -107,6 +137,10 @@ type Result struct {
 	Profile   *Profile    // non-nil when Config.Profile is set
 	GradBytes int         // allreduce message size (28.15 MB in the paper)
 	TotalTime time.Duration
+	// Timelines holds every rank's gathered phase events, in rank order,
+	// when Config.Timeline is set — populated on rank 0 only (the gather
+	// root), ready for obsv.WriteChromeTrace / obsv.BuildStragglerReport.
+	Timelines []obsv.RankTimeline
 }
 
 // FinalTrainLoss returns the last epoch's training loss.
@@ -229,6 +263,21 @@ func runRank(cfg Config, rank int, c *comm.Comm, net *nn.Network,
 	trainSet, valSet []*cosmo.Sample, stepsPerEpoch int,
 	profile *Profile, res *Result) error {
 
+	// Phase tracing: a per-rank event ring (gathered to rank 0 at run end)
+	// and/or the shared phase recorder. Attaching the timeline to the
+	// communicator makes the collectives record their own events, so an
+	// overlapped allreduce shows up concurrent with backward.
+	var tl *obsv.Timeline
+	if cfg.Timeline {
+		tl = obsv.NewTimeline(rank, cfg.TimelineCap)
+		c.SetTimeline(tl)
+	}
+	sc := newStepClock(tl, cfg.PhaseRecorder)
+	prog := cfg.Progress
+	if rank != cfg.progressRank {
+		prog = nil
+	}
+
 	// Broadcast rank-0 initial parameters so all replicas start identical
 	// (§V-A). A resume checkpoint, if any, is loaded first and therefore
 	// reaches every replica through the same broadcast.
@@ -284,6 +333,7 @@ func runRank(cfg Config, rank int, c *comm.Comm, net *nn.Network,
 		}
 		var lossSum float64
 		for step := 0; step < stepsPerEpoch; step++ {
+			sc.setStep(epoch*stepsPerEpoch + step)
 			ioStart := time.Now()
 			sample, err := src.next()
 			if err != nil {
@@ -294,7 +344,14 @@ func runRank(cfg Config, rank int, c *comm.Comm, net *nn.Network,
 				profile.Add(CatIO, time.Since(ioStart))
 				profile.Steps++
 			}
+			sc.done(obsv.PhaseDataWait, ioStart)
 
+			fwdStart := sc.start()
+			if cfg.InjectDelay > 0 && rank == cfg.InjectDelayRank {
+				// Straggler injection: the sleep sits inside the forward
+				// phase so the report attributes the imbalance there.
+				time.Sleep(cfg.InjectDelay)
+			}
 			net.ZeroGrads()
 			var pred *tensor.Tensor
 			if profile != nil && rank == 0 {
@@ -302,6 +359,7 @@ func runRank(cfg Config, rank int, c *comm.Comm, net *nn.Network,
 			} else {
 				pred = net.Forward(x)
 			}
+			sc.done(obsv.PhaseForward, fwdStart)
 			loss, grad := nn.MSELoss(pred, sample.Target[:])
 			lossSum += loss
 
@@ -327,11 +385,14 @@ func runRank(cfg Config, rank int, c *comm.Comm, net *nn.Network,
 					}
 				}()
 				commStart := time.Now()
+				bwdStart := sc.start()
 				net.BackwardWithHook(grad, func(l nn.Layer) {
 					if ps := l.Params(); len(ps) > 0 {
 						bucketCh <- ps
 					}
 				})
+				sc.done(obsv.PhaseBackward, bwdStart)
+				arStart := sc.start()
 				close(bucketCh)
 				<-commDone
 				if commPanic != nil {
@@ -340,12 +401,18 @@ func runRank(cfg Config, rank int, c *comm.Comm, net *nn.Network,
 				if profile != nil && rank == 0 {
 					profile.Add(CatComms, time.Since(commStart))
 				}
+				// Span only: the timeline's allreduce events come from the
+				// comm goroutine itself, overlapping the backward event
+				// above; this span is the post-backward drain wait.
+				sc.doneSpan(obsv.PhaseAllReduce, arStart)
 			} else {
+				bwdStart := sc.start()
 				if profile != nil && rank == 0 {
 					backwardProfiled(net, grad, profile)
 				} else {
 					net.Backward(grad)
 				}
+				sc.done(obsv.PhaseBackward, bwdStart)
 				commStart := time.Now()
 				net.FlattenGrads(gradBuf)
 				c.AllReduceMean(gradBuf)
@@ -353,6 +420,7 @@ func runRank(cfg Config, rank int, c *comm.Comm, net *nn.Network,
 				if profile != nil && rank == 0 {
 					profile.Add(CatComms, time.Since(commStart))
 				}
+				sc.doneSpan(obsv.PhaseAllReduce, commStart)
 			}
 
 			optStart := time.Now()
@@ -361,6 +429,10 @@ func runRank(cfg Config, rank int, c *comm.Comm, net *nn.Network,
 			if profile != nil && rank == 0 {
 				profile.Add(CatOptimizer, time.Since(optStart))
 			}
+			sc.done(obsv.PhaseOptimizer, optStart)
+			if prog != nil {
+				prog.AddStep()
+			}
 		}
 
 		// Global training-loss average across ranks and steps.
@@ -368,7 +440,9 @@ func runRank(cfg Config, rank int, c *comm.Comm, net *nn.Network,
 
 		// Validation: each rank scores its strided shard; the collective
 		// averages globally.
+		evStart := sc.start()
 		valLoss := validate(c, net, valSet, rank, cfg.Ranks)
+		sc.done(obsv.PhaseEval, evStart)
 
 		if rank == 0 && cfg.CheckpointPath != "" {
 			every := cfg.CheckpointEvery
@@ -376,9 +450,11 @@ func runRank(cfg Config, rank int, c *comm.Comm, net *nn.Network,
 				every = 1
 			}
 			if (epoch+1)%every == 0 || epoch == cfg.Epochs-1 {
+				ckStart := sc.start()
 				if err := SaveTrainState(cfg.CheckpointPath, net, opt, epoch+1); err != nil {
 					return fmt.Errorf("train: checkpointing epoch %d: %w", epoch, err)
 				}
+				sc.done(obsv.PhaseCheckpoint, ckStart)
 			}
 		}
 		if rank == 0 && cfg.AbortAfterEpoch > 0 && epoch+1 >= cfg.AbortAfterEpoch {
@@ -395,7 +471,29 @@ func runRank(cfg Config, rank int, c *comm.Comm, net *nn.Network,
 					time.Since(epochStart).Seconds(),
 			}
 		}
+		if prog != nil {
+			prog.SetEpochs(epoch + 1)
+			prog.SetRate(float64(cfg.Ranks*stepsPerEpoch) / time.Since(epochStart).Seconds())
+		}
 		c.Barrier()
+	}
+
+	// End-of-run timeline gather: detach the ring first so the gather's own
+	// traffic is not recorded, then ship every rank's encoded events to
+	// rank 0 over the same transport the gradients used.
+	if tl != nil {
+		c.SetTimeline(nil)
+		parts := c.Gather(obsv.EncodeTimeline(tl.Snapshot()), 0)
+		if rank == 0 {
+			res.Timelines = make([]obsv.RankTimeline, 0, len(parts))
+			for i, p := range parts {
+				rt, err := obsv.DecodeTimeline(p)
+				if err != nil {
+					return fmt.Errorf("train: gathered timeline from rank %d: %w", i, err)
+				}
+				res.Timelines = append(res.Timelines, rt)
+			}
+		}
 	}
 	return nil
 }

@@ -1,6 +1,6 @@
 #!/bin/sh
 # Collects the machine-readable benchmark trajectory: one BENCH_<area>.json
-# per area (kernel, dist, data, serve, gateway, roofline) under $BENCH_OUT, stamped
+# per area (kernel, dist, data, serve, gateway, roofline, train) under $BENCH_OUT, stamped
 # with the git SHA and the cosmoflow-bench/v1 schema. Invoked by
 # `make bench-json`; `make bench-compare` (cosmoflow-benchdiff) then gates
 # the result against the committed bench/baseline/. Sizes are deliberately
@@ -43,6 +43,9 @@ echo "== dist (comm collectives, in-process worlds) =="
 
 echo "== data (loader streaming over sharded TFRecords) =="
 "$BENCH_BIN" -area data -iters "$BENCH_ITERS" -json "$BENCH_OUT/BENCH_data.json"
+
+echo "== train (traced 4-rank step-phase timings) =="
+"$BENCH_BIN" -area train -iters "$BENCH_ITERS" -json "$BENCH_OUT/BENCH_train.json"
 
 S1=http://127.0.0.1:18191
 S2=http://127.0.0.1:18192

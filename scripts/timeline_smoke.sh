@@ -1,0 +1,64 @@
+#!/bin/sh
+# timeline-smoke: end-to-end training-timeline smoke (the ISSUE 10
+# acceptance run). Asserts that
+#   1. a 4-process world (-launch 4) traced with -timeline-out and slowed
+#      by an injected 10ms forward delay on rank 2 trains bit-identically
+#      to the untraced, undelayed baseline (tracing and fault injection
+#      never touch the math),
+#   2. the written trace validates strictly as Chrome trace-event JSON
+#      (cosmoflow-tracecat errors on any malformed event), and
+#   3. the cross-rank straggler report names the slowed rank.
+# Expects binaries at $BIN / $TRACECAT (default /tmp/cosmoflow-train and
+# /tmp/cosmoflow-tracecat; `make timeline-smoke` builds them there).
+set -eu
+
+BIN=${BIN:-/tmp/cosmoflow-train}
+TRACECAT=${TRACECAT:-/tmp/cosmoflow-tracecat}
+ARGS="-synthetic 16 -dim 8 -base 2 -epochs 2 -helpers 2 -seed 7"
+TRACE=$(mktemp /tmp/timeline-smoke-XXXXXX.trace.json)
+trap 'rm -f "$TRACE"' EXIT
+
+# losses filters a training log to "epoch trainloss valloss" rows.
+losses() { awk '/^ *[0-9]+ /{print $1, $2, $3}'; }
+
+echo "== untraced 4-process baseline"
+ref="$($BIN -launch 4 $ARGS | losses)"
+if [ -z "$ref" ]; then
+    echo "timeline-smoke: FAIL: baseline run produced no epoch table" >&2
+    exit 1
+fi
+echo "$ref"
+
+echo "== traced 4-process run with injected 10ms straggler on rank 2"
+rm -f "$TRACE"
+got="$($BIN -launch 4 $ARGS -timeline-out "$TRACE" -slow-rank 2 -slow-ms 10 | losses)"
+if [ "$got" != "$ref" ]; then
+    echo "timeline-smoke: FAIL: traced+delayed losses differ from baseline" >&2
+    printf 'baseline:\n%s\ntraced:\n%s\n' "$ref" "$got" >&2
+    exit 1
+fi
+echo "losses bit-identical to the untraced baseline"
+
+if [ ! -s "$TRACE" ]; then
+    echo "timeline-smoke: FAIL: no trace written to $TRACE" >&2
+    exit 1
+fi
+if ! grep -q '"traceEvents"' "$TRACE"; then
+    echo "timeline-smoke: FAIL: $TRACE is not Chrome trace-event JSON" >&2
+    exit 1
+fi
+
+echo "== validating trace and straggler attribution"
+report="$($TRACECAT "$TRACE")" # exits non-zero on any malformed event
+echo "$report" | tail -1
+if ! echo "$report" | grep -q "slowest rank: 2"; then
+    echo "timeline-smoke: FAIL: report does not name slowed rank 2" >&2
+    echo "$report" >&2
+    exit 1
+fi
+if ! echo "$report" | grep -q "largest excess: forward"; then
+    echo "timeline-smoke: FAIL: imbalance not attributed to the forward phase" >&2
+    echo "$report" >&2
+    exit 1
+fi
+echo "timeline-smoke: PASS"
